@@ -1,0 +1,53 @@
+"""E1 -- completion blow-up (Section 2, Example 2).
+
+The paper warns that completing an automaton costs an exponential blow-up
+in the number of registers.  We measure the number of complete types
+extending the empty guard as ``k`` grows (the theoretical count for the
+empty relational signature is the ordered Bell-like count of settled
+partitions of 2k variables), plus wall-clock time for completing a fixed
+random automaton per ``k``.
+
+Expected shape: super-exponential growth of completions with ``k``; time
+follows the count.
+"""
+
+import random
+
+import pytest
+
+from repro import SigmaType
+from repro.generators import random_register_automaton
+from repro.logic.terms import x_vars, y_vars
+
+from _tables import register_table
+
+ROWS = []
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_completion_blowup(benchmark, k):
+    rng = random.Random(97 + k)
+    automaton = random_register_automaton(rng, k=k, n_states=2, n_transitions=3)
+
+    def complete():
+        return automaton.completed()
+
+    completed = benchmark(complete)
+    empty_completions = sum(
+        1 for _ in SigmaType().completions({}, list(x_vars(k)) + list(y_vars(k)))
+    )
+    ROWS.append(
+        (
+            k,
+            len(automaton.transitions),
+            len(completed.transitions),
+            empty_completions,
+        )
+    )
+
+
+register_table(
+    "E1: completion blow-up vs registers k",
+    ["k", "|Delta| before", "|Delta| after", "completions of empty guard"],
+    ROWS,
+)

@@ -1,0 +1,67 @@
+"""E12 -- the paper's worked examples as an end-to-end regression gauntlet.
+
+Times the full pipeline on each worked example: Example 1 (the running
+automaton), Example 4/5 (non-closure and the extended-automaton view),
+Example 7 (all distinct), Example 8 (quasi-regularity boundary), Examples
+16/17 (LR boundary).  Doubles as the "who wins" summary table.
+
+Expected shape: every verdict matches the paper's claim.
+"""
+
+import pytest
+
+from repro import (
+    ExtendedAutomaton,
+    check_emptiness,
+    is_lr_bounded,
+    project_register_automaton,
+    scontrol_buchi,
+)
+
+from _tables import register_table
+
+ROWS = []
+
+
+def test_example1_scontrol(benchmark, example1_automaton):
+    buchi = benchmark(scontrol_buchi, example1_automaton)
+    assert buchi.find_accepted_lasso() is not None
+    ROWS.append(("Ex 1: SControl nonempty", "yes (omega-regular)", "paper: yes"))
+
+
+def test_example4_projection(benchmark, example1_automaton):
+    projected = benchmark(project_register_automaton, example1_automaton, 1)
+    assert projected.constraints
+    ROWS.append(
+        ("Ex 4/5: projection needs global constraints", "yes", "paper: yes")
+    )
+
+
+def test_example7_nonempty_but_aperiodic(benchmark, example7_extended):
+    result = benchmark(check_emptiness, example7_extended)
+    assert not result.empty
+    assert result.witness.lasso_run() is None
+    ROWS.append(
+        ("Ex 7: runs exist, none data-periodic", "confirmed", "paper: yes")
+    )
+
+
+def test_example8_boundary(benchmark, example8_extended):
+    result = benchmark(
+        lambda: check_emptiness(example8_extended, max_prefix=1, max_cycle=4)
+    )
+    assert not result.empty
+    ROWS.append(("Ex 8: p-blocks with breaks realisable", "yes", "paper: yes"))
+
+
+def test_example16_17_lr(benchmark, example7_extended):
+    verdict = benchmark(is_lr_bounded, example7_extended)
+    assert not verdict
+    ROWS.append(("Ex 17: all-distinct not LR-bounded", "confirmed", "paper: yes"))
+
+
+register_table(
+    "E12: worked-example gauntlet",
+    ["claim", "measured", "expected"],
+    ROWS,
+)

@@ -1,0 +1,65 @@
+"""E4 -- Proposition 6: eliminating global equality constraints.
+
+The construction adds one register per state of each equality-constraint
+DFA, plus control-state bookkeeping.  We sweep the constraint-DFA size
+(longer anchored expressions) and report register/state/transition growth
+and elimination time.
+
+Expected shape: register growth exactly equals the total DFA state count;
+control grows with the subset bookkeeping (worst case exponential, modest
+on anchored constraints).
+"""
+
+import pytest
+
+from repro import ExtendedAutomaton, GlobalConstraint, RegisterAutomaton, SigmaType, Signature
+from repro.automata.regex import concat, literal, star, word
+from repro.core.extended import eliminate_equality_constraints
+
+from _tables import register_table
+
+ROWS = []
+
+EMPTY = SigmaType()
+
+
+def _cycle_automaton(n_states: int) -> RegisterAutomaton:
+    states = ["s%d" % i for i in range(n_states)]
+    transitions = [
+        (states[i], EMPTY, states[(i + 1) % n_states]) for i in range(n_states)
+    ]
+    return RegisterAutomaton(
+        1, Signature.empty(), states, {states[0]}, {states[0]}, transitions
+    )
+
+
+@pytest.mark.parametrize("cycle", [2, 3, 4])
+def test_elimination_growth(benchmark, cycle):
+    automaton = _cycle_automaton(cycle)
+    # equality between consecutive visits of s0: anchored regex s0 ... s0
+    middle = star(
+        __import__("repro.automata.regex", fromlist=["any_of"]).any_of(
+            ["s%d" % i for i in range(1, cycle)]
+        )
+    )
+    expression = concat(literal("s0"), middle, literal("s0"))
+    extended = ExtendedAutomaton(automaton, [GlobalConstraint("eq", 1, 1, expression)])
+    eliminated, _k = benchmark(eliminate_equality_constraints, extended)
+    dfa = extended.constraint_dfa(extended.constraints[0])
+    ROWS.append(
+        (
+            cycle,
+            dfa.size(),
+            eliminated.automaton.k,
+            len(eliminated.automaton.states),
+            len(eliminated.automaton.transitions),
+        )
+    )
+    assert eliminated.automaton.k == 1 + dfa.size()
+
+
+register_table(
+    "E4: Proposition 6 elimination growth",
+    ["cycle length", "constraint DFA", "registers out", "states out", "transitions out"],
+    ROWS,
+)

@@ -1,0 +1,52 @@
+"""E2 -- state-driven conversion is quadratic (Section 2, Example 3).
+
+The conversion replaces states by (state, guard) pairs: the new state count
+is the number of distinct transition sources-with-guards, and the new
+transition count is bounded by |Delta|^2.  We sweep |Delta| on random
+automata with a fixed state count and report the measured sizes.
+
+Expected shape: states grow linearly with |Delta|, transitions at most
+quadratically; Example 3's instance gives 3 states / 5 transitions.
+"""
+
+import random
+
+import pytest
+
+from repro.generators import random_register_automaton
+
+from _tables import register_table
+
+ROWS = []
+
+
+@pytest.mark.parametrize("n_transitions", [4, 8, 12, 16])
+def test_state_driven_growth(benchmark, n_transitions):
+    rng = random.Random(1000 + n_transitions)
+    automaton = random_register_automaton(
+        rng, k=2, n_states=3, n_transitions=n_transitions
+    )
+    driven = benchmark(automaton.state_driven)
+    assert driven.is_state_driven()
+    ROWS.append(
+        (
+            n_transitions,
+            len(automaton.states),
+            len(driven.states),
+            len(driven.transitions),
+        )
+    )
+
+
+def test_example3_shape(benchmark, example1_automaton):
+    driven = benchmark(example1_automaton.state_driven)
+    assert len(driven.states) == 3
+    assert len(driven.transitions) == 5
+    ROWS.append(("Example 3", 2, 3, 5))
+
+
+register_table(
+    "E2: state-driven conversion growth",
+    ["|Delta| in", "|Q| in", "|Q| out", "|Delta| out"],
+    ROWS,
+)

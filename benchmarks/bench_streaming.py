@@ -1,0 +1,53 @@
+"""E11 -- streaming run checking (the workflow-view use case of Section 1).
+
+Measures the throughput of validity + constraint checking on long finite
+run prefixes of the manuscript-review workflow and of its author view.
+This is the "enforce the view specification in a streaming fashion" story
+the paper tells after Theorem 19.
+
+Expected shape: plain validity checking is linear in the prefix; view
+constraint checking is quadratic in the prefix (factor scans), independent
+of the hidden data.
+"""
+
+import pytest
+
+from repro import Database, FiniteRun, Signature, find_lasso_run, manuscript_review_workflow, role_view
+
+from _tables import register_table
+
+ROWS = []
+
+
+def _long_prefix(length):
+    spec = manuscript_review_workflow(with_database=False)
+    automaton = spec.compile()
+    database = Database(Signature.empty())
+    lasso = find_lasso_run(automaton, database)
+    return spec, automaton, database, lasso.unfold(length)
+
+
+@pytest.mark.parametrize("length", [50, 200, 800])
+def test_validity_throughput(benchmark, length):
+    _spec, automaton, database, prefix = _long_prefix(length)
+    result = benchmark(prefix.is_valid, automaton, database)
+    assert result
+    ROWS.append(("validity", length, "linear scan"))
+
+
+@pytest.mark.parametrize("length", [25, 50, 100])
+def test_view_constraint_throughput(benchmark, length):
+    spec = manuscript_review_workflow(with_database=False)
+    view = role_view(spec, "author", hidden=["reviewer"])
+    database = Database(Signature.empty())
+    lasso = find_lasso_run(view.automaton.automaton, database, pool=("a", "b", "c", "d"))
+    prefix = lasso.unfold(length)
+    benchmark(view.automaton.satisfies_constraints, prefix)
+    ROWS.append(("view constraints", length, "factor scans"))
+
+
+register_table(
+    "E11: streaming checks on the review workflow",
+    ["check", "prefix length", "regime"],
+    ROWS,
+)

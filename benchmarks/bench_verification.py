@@ -1,0 +1,65 @@
+"""E6 -- LTL-FO verification (Theorem 12).
+
+Verifies a family of properties of growing temporal depth against the
+Example-1 automaton and the review workflow, reporting property-automaton
+and product sizes plus decision time.
+
+Expected shape: cost grows with the negated property's Buchi automaton
+(exponential in formula size, the classical LTL blow-up), not with the data.
+"""
+
+import pytest
+
+from repro import ExtendedAutomaton, LtlFoSentence, manuscript_review_workflow, verify
+from repro.logic.formulas import atom_eq
+from repro.logic.terms import X
+from repro.ltl import Eventually, Globally, Next, Prop
+from repro.ltl.syntax import Not_, Or_, Until
+
+from _tables import register_table
+
+ROWS = []
+
+
+def _eq12():
+    return {"eq12": atom_eq(X(1), X(2))}
+
+
+PROPERTIES = [
+    ("F eq12", Eventually(Prop("eq12")), True),
+    ("G eq12", Globally(Prop("eq12")), False),
+    ("G(eq12 -> F eq12)", Globally(Or_(Not_(Prop("eq12")), Eventually(Prop("eq12")))), True),
+    ("GF eq12", Globally(Eventually(Prop("eq12"))), True),
+    ("X X eq12", Next(Next(Prop("eq12"))), False),
+    # fails: runs may leave eq12 false from position 1 onwards for a while
+    ("eq12 U (X eq12)", Until(Prop("eq12"), Next(Prop("eq12"))), False),
+]
+
+
+@pytest.mark.parametrize("name,skeleton,expected", PROPERTIES, ids=[p[0] for p in PROPERTIES])
+def test_verify_example1(benchmark, example1_automaton, name, skeleton, expected):
+    sentence = LtlFoSentence(skeleton=skeleton, propositions=_eq12())
+    extended = ExtendedAutomaton(example1_automaton, [])
+    result = benchmark(verify, extended, sentence)
+    assert result.holds == expected
+    ROWS.append((name, "holds" if result.holds else "fails", result.product_size))
+
+
+def test_verify_workflow(benchmark):
+    spec = manuscript_review_workflow(with_database=False)
+    extended = ExtendedAutomaton(spec.compile(), [])
+    author, reviewer = spec.register_of("author"), spec.register_of("reviewer")
+    sentence = LtlFoSentence(
+        skeleton=Eventually(Prop("distinct")),
+        propositions={"distinct": ~atom_eq(X(author), X(reviewer))},
+    )
+    result = benchmark(verify, extended, sentence)
+    assert result.holds
+    ROWS.append(("review: F(rev != auth)", "holds", result.product_size))
+
+
+register_table(
+    "E6: LTL-FO verification",
+    ["property", "verdict", "product size"],
+    ROWS,
+)

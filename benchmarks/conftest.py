@@ -1,0 +1,78 @@
+"""Shared builders for the benchmark suite."""
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import (
+    ExtendedAutomaton,
+    GlobalConstraint,
+    RegisterAutomaton,
+    SigmaType,
+    Signature,
+    X,
+    Y,
+    eq,
+    neq,
+    rel,
+)
+from repro.automata.regex import concat, literal, plus, star
+
+
+@pytest.fixture
+def example1_automaton():
+    d1 = SigmaType([eq(X(1), X(2)), eq(X(2), Y(2))])
+    d2 = SigmaType([eq(X(2), Y(2))])
+    d3 = SigmaType([eq(X(2), Y(2)), eq(Y(1), Y(2))])
+    return RegisterAutomaton(
+        2,
+        Signature.empty(),
+        {"q1", "q2"},
+        {"q1"},
+        {"q1"},
+        [("q1", d1, "q2"), ("q2", d2, "q2"), ("q2", d3, "q1")],
+    )
+
+
+@pytest.fixture
+def example7_extended():
+    empty = SigmaType()
+    base = RegisterAutomaton(
+        1, Signature.empty(), {"q"}, {"q"}, {"q"}, [("q", empty, "q")]
+    )
+    all_distinct = concat(literal("q"), plus(literal("q")))
+    return ExtendedAutomaton(base, [GlobalConstraint("neq", 1, 1, all_distinct)])
+
+
+@pytest.fixture
+def example8_extended():
+    signature = Signature(relations={"P": 1})
+    guard = SigmaType([rel("P", X(1))])
+    base = RegisterAutomaton(
+        1,
+        signature,
+        {"p", "q"},
+        {"p"},
+        {"p", "q"},
+        [("p", guard, "p"), ("p", guard, "q"), ("q", guard, "q"), ("q", guard, "p")],
+    )
+    p_block = concat(literal("p"), star(literal("p")), literal("p"))
+    return ExtendedAutomaton(base, [GlobalConstraint("neq", 1, 1, p_block)])
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20260707)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Print the experiment tables after the benchmark run."""
+    from _tables import REGISTRY, print_table
+
+    for title, headers, rows in REGISTRY:
+        if rows:
+            print_table(title, headers, rows)

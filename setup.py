@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, which modern
+``pip install -e .`` requires for PEP 660 editable installs.  This shim keeps
+``python setup.py develop`` working there; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,373 @@
+"""Nondeterministic Buchi automata over arbitrary alphabets.
+
+The paper's trace languages (``SControl(A)``, ``Control(A)``, ``State(A)``)
+are omega-languages; this module supplies the omega-automata toolbox used to
+manipulate them: lasso membership, emptiness with lasso witness extraction,
+intersection (the flagged product), union, homomorphic images, and
+degeneralisation of generalized Buchi acceptance (needed by the LTL
+translation).
+"""
+
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.automata.words import Lasso
+from repro.foundations.errors import SpecificationError
+
+State = Hashable
+
+
+class BuchiAutomaton:
+    """A nondeterministic Buchi automaton.
+
+    ``transitions[state][symbol]`` is the set of successors.  A run is
+    accepting when it visits an accepting state infinitely often.
+    """
+
+    def __init__(
+        self,
+        transitions: Dict[State, Dict[object, Iterable[State]]],
+        initial: Iterable[State],
+        accepting: Iterable[State],
+    ):
+        self._transitions: Dict[State, Dict[object, FrozenSet[State]]] = {
+            state: {symbol: frozenset(targets) for symbol, targets in moves.items()}
+            for state, moves in transitions.items()
+        }
+        self._initial = frozenset(initial)
+        self._accepting = frozenset(accepting)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def initial(self) -> FrozenSet[State]:
+        return self._initial
+
+    @property
+    def accepting(self) -> FrozenSet[State]:
+        return self._accepting
+
+    def states(self) -> FrozenSet[State]:
+        found: Set[State] = set(self._initial) | set(self._accepting)
+        for state, moves in self._transitions.items():
+            found.add(state)
+            for targets in moves.values():
+                found.update(targets)
+        return frozenset(found)
+
+    def symbols(self) -> FrozenSet:
+        found = set()
+        for moves in self._transitions.values():
+            found.update(moves.keys())
+        return frozenset(found)
+
+    def successors(self, state: State, symbol) -> FrozenSet[State]:
+        return self._transitions.get(state, {}).get(symbol, frozenset())
+
+    def size(self) -> int:
+        return len(self.states())
+
+    # ------------------------------------------------------------------ #
+    # lasso membership
+    # ------------------------------------------------------------------ #
+
+    def accepts(self, word: Lasso) -> bool:
+        """Whether the automaton accepts the ultimately periodic *word*.
+
+        Standard algorithm: after consuming the prefix we ask for an infinite
+        accepting continuation over ``period^omega``; that exists iff, in the
+        graph of (state, period-offset) nodes, some node carrying an
+        accepting state is reachable from the start set and lies on a cycle.
+        """
+        current: Set[State] = set(self._initial)
+        for symbol in word.prefix:
+            nxt: Set[State] = set()
+            for state in current:
+                nxt.update(self.successors(state, symbol))
+            current = nxt
+            if not current:
+                return False
+        period = word.period
+
+        def node_successors(node: Tuple[State, int]) -> Iterable[Tuple[State, int]]:
+            state, offset = node
+            symbol = period[offset]
+            nxt_offset = (offset + 1) % len(period)
+            for target in self.successors(state, symbol):
+                yield (target, nxt_offset)
+
+        start_nodes = {(state, 0) for state in current}
+        reachable: Set[Tuple[State, int]] = set(start_nodes)
+        frontier = list(start_nodes)
+        while frontier:
+            node = frontier.pop()
+            for target in node_successors(node):
+                if target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+        accepting_nodes = [n for n in reachable if n[0] in self._accepting]
+        for anchor in accepting_nodes:
+            # is anchor on a cycle? BFS from its successors back to it
+            seen: Set[Tuple[State, int]] = set()
+            stack = list(node_successors(anchor))
+            while stack:
+                node = stack.pop()
+                if node == anchor:
+                    return True
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(node_successors(node))
+        return False
+
+    # ------------------------------------------------------------------ #
+    # emptiness with witness
+    # ------------------------------------------------------------------ #
+
+    def find_accepted_lasso(self) -> Optional[Lasso]:
+        """A lasso accepted by the automaton, or ``None`` if the language is empty.
+
+        Finds a reachable accepting state lying on a cycle, returning the
+        access path as the prefix and the cycle as the period.
+        """
+        # BFS forward from initial states, remembering parents for paths.
+        parent: Dict[State, Tuple[Optional[State], object]] = {
+            state: (None, None) for state in self._initial
+        }
+        order: List[State] = list(self._initial)
+        queue = list(self._initial)
+        while queue:
+            state = queue.pop(0)
+            for symbol, targets in sorted(
+                self._transitions.get(state, {}).items(), key=lambda kv: repr(kv[0])
+            ):
+                for target in sorted(targets, key=repr):
+                    if target not in parent:
+                        parent[target] = (state, symbol)
+                        order.append(target)
+                        queue.append(target)
+
+        def path_to(state: State) -> Tuple:
+            word: List = []
+            node = state
+            while parent[node][0] is not None:
+                node, symbol = parent[node]
+                word.append(symbol)
+            return tuple(reversed(word))
+
+        for anchor in order:
+            if anchor not in self._accepting:
+                continue
+            cycle = self._cycle_through(anchor)
+            if cycle is not None:
+                return Lasso(path_to(anchor), cycle)
+        return None
+
+    def _cycle_through(self, anchor: State) -> Optional[Tuple]:
+        """A non-empty symbol word labelling a cycle anchor -> anchor."""
+        local_parent: Dict[State, Tuple[State, object]] = {}
+        queue: List[State] = []
+        for symbol, targets in sorted(
+            self._transitions.get(anchor, {}).items(), key=lambda kv: repr(kv[0])
+        ):
+            for target in sorted(targets, key=repr):
+                if target == anchor:
+                    return (symbol,)
+                if target not in local_parent:
+                    local_parent[target] = (anchor, symbol)
+                    queue.append(target)
+        while queue:
+            state = queue.pop(0)
+            for symbol, targets in sorted(
+                self._transitions.get(state, {}).items(), key=lambda kv: repr(kv[0])
+            ):
+                for target in sorted(targets, key=repr):
+                    if target == anchor:
+                        word: List = [symbol]
+                        node = state
+                        while node != anchor:
+                            node, back_symbol = local_parent[node]
+                            word.append(back_symbol)
+                        return tuple(reversed(word))
+                    if target not in local_parent:
+                        local_parent[target] = (state, symbol)
+                        queue.append(target)
+        return None
+
+    def is_empty(self) -> bool:
+        """Whether the accepted omega-language is empty."""
+        return self.find_accepted_lasso() is None
+
+    def iter_accepted_lassos(self, max_cycle_length: int, max_prefix_length: int):
+        """Enumerate accepted lassos with bounded prefix/period length.
+
+        Used by search procedures that must inspect several witnesses (e.g.
+        the realisability filter of the extended-automaton emptiness check).
+        The enumeration is exhaustive over the bound: every accepted lasso
+        with ``len(prefix) <= max_prefix_length`` and ``len(period) <=
+        max_cycle_length`` appears (possibly in non-canonical shape).
+        """
+        # Enumerate simple paths from initial states up to the prefix bound,
+        # then simple cycles through accepting states up to the cycle bound.
+        def extend_paths(paths):
+            for states_path, symbols_path in paths:
+                state = states_path[-1]
+                for symbol, targets in sorted(
+                    self._transitions.get(state, {}).items(), key=lambda kv: repr(kv[0])
+                ):
+                    for target in sorted(targets, key=repr):
+                        yield states_path + (target,), symbols_path + (symbol,)
+
+        prefixes = [((state,), ()) for state in sorted(self._initial, key=repr)]
+        all_prefixes = list(prefixes)
+        for _ in range(max_prefix_length):
+            prefixes = list(extend_paths(prefixes))
+            all_prefixes.extend(prefixes)
+        for states_path, symbols_path in all_prefixes:
+            anchor = states_path[-1]
+            if anchor not in self._accepting:
+                continue
+            # enumerate cycles anchor -> anchor of bounded length
+            cycles = [((anchor,), ())]
+            for _ in range(max_cycle_length):
+                cycles = list(extend_paths(cycles))
+                for cycle_states, cycle_symbols in cycles:
+                    if cycle_states[-1] == anchor and cycle_symbols:
+                        yield Lasso(symbols_path, cycle_symbols)
+
+    # ------------------------------------------------------------------ #
+    # boolean operations
+    # ------------------------------------------------------------------ #
+
+    def intersect(self, other: "BuchiAutomaton") -> "BuchiAutomaton":
+        """The flagged product automaton for the intersection.
+
+        States ``(q1, q2, phase)``; phase 1 waits for ``q1`` accepting,
+        phase 2 waits for ``q2`` accepting; acceptance = phase-1 states with
+        ``q1`` accepting (Baier-Katoen construction).
+        """
+        initial = {(q1, q2, 1) for q1 in self._initial for q2 in other._initial}
+        transitions: Dict[State, Dict[object, Set[State]]] = {}
+        worklist = list(initial)
+        seen: Set[State] = set(initial)
+        while worklist:
+            q1, q2, phase = worklist.pop()
+            moves1 = self._transitions.get(q1, {})
+            moves2 = other._transitions.get(q2, {})
+            for symbol in set(moves1) & set(moves2):
+                for t1 in moves1[symbol]:
+                    for t2 in moves2[symbol]:
+                        if phase == 1:
+                            nxt_phase = 2 if q1 in self._accepting else 1
+                        else:
+                            nxt_phase = 1 if q2 in other._accepting else 2
+                        target = (t1, t2, nxt_phase)
+                        transitions.setdefault((q1, q2, phase), {}).setdefault(
+                            symbol, set()
+                        ).add(target)
+                        if target not in seen:
+                            seen.add(target)
+                            worklist.append(target)
+        accepting = {
+            (q1, q2, phase)
+            for (q1, q2, phase) in seen
+            if phase == 1 and q1 in self._accepting
+        }
+        return BuchiAutomaton(transitions, initial, accepting)
+
+    def union(self, other: "BuchiAutomaton") -> "BuchiAutomaton":
+        """Disjoint union (tags states with 0/1)."""
+        transitions: Dict[State, Dict[object, Set[State]]] = {}
+        for tag, automaton in ((0, self), (1, other)):
+            for state, moves in automaton._transitions.items():
+                for symbol, targets in moves.items():
+                    transitions.setdefault((tag, state), {}).setdefault(symbol, set()).update(
+                        (tag, t) for t in targets
+                    )
+        initial = {(0, q) for q in self._initial} | {(1, q) for q in other._initial}
+        accepting = {(0, q) for q in self._accepting} | {(1, q) for q in other._accepting}
+        return BuchiAutomaton(transitions, initial, accepting)
+
+    def map_symbols(self, fn: Callable) -> "BuchiAutomaton":
+        """The homomorphic image: relabel each symbol by ``fn`` (may merge)."""
+        transitions: Dict[State, Dict[object, Set[State]]] = {}
+        for state, moves in self._transitions.items():
+            for symbol, targets in moves.items():
+                transitions.setdefault(state, {}).setdefault(fn(symbol), set()).update(targets)
+        return BuchiAutomaton(transitions, self._initial, self._accepting)
+
+    def relabel_states(self) -> "BuchiAutomaton":
+        """Replace states by dense integers (cosmetic, keeps products small)."""
+        index: Dict[State, int] = {}
+
+        def number(state: State) -> int:
+            if state not in index:
+                index[state] = len(index)
+            return index[state]
+
+        transitions: Dict[State, Dict[object, Set[State]]] = {}
+        for state in sorted(self.states(), key=repr):
+            number(state)
+        for state, moves in self._transitions.items():
+            for symbol, targets in moves.items():
+                transitions.setdefault(number(state), {}).setdefault(symbol, set()).update(
+                    number(t) for t in targets
+                )
+        return BuchiAutomaton(
+            transitions,
+            {number(q) for q in self._initial},
+            {number(q) for q in self._accepting},
+        )
+
+    def __repr__(self) -> str:
+        return "BuchiAutomaton(%d states, %d accepting)" % (
+            len(self.states()),
+            len(self._accepting),
+        )
+
+
+class GeneralizedBuchiAutomaton:
+    """A Buchi automaton with several acceptance sets (all must recur).
+
+    Produced by the LTL tableau translation; convert to a plain Buchi
+    automaton with :meth:`degeneralize` (the counter construction).
+    """
+
+    def __init__(
+        self,
+        transitions: Dict[State, Dict[object, Iterable[State]]],
+        initial: Iterable[State],
+        acceptance_sets: List[Iterable[State]],
+    ):
+        self._transitions = {
+            state: {symbol: frozenset(targets) for symbol, targets in moves.items()}
+            for state, moves in transitions.items()
+        }
+        self._initial = frozenset(initial)
+        self._acceptance_sets = [frozenset(fs) for fs in acceptance_sets]
+
+    def degeneralize(self) -> BuchiAutomaton:
+        """The counter construction: track which acceptance set is awaited."""
+        sets = self._acceptance_sets
+        if not sets:
+            # Every infinite run is accepting: one trivial acceptance set of
+            # all states makes each visit count.
+            all_states: Set[State] = set(self._initial)
+            for state, moves in self._transitions.items():
+                all_states.add(state)
+                for targets in moves.values():
+                    all_states.update(targets)
+            return BuchiAutomaton(self._transitions, self._initial, all_states)
+        count = len(sets)
+        transitions: Dict[State, Dict[object, Set[State]]] = {}
+        for state, moves in self._transitions.items():
+            for level in range(count):
+                nxt_level = (level + 1) % count if state in sets[level] else level
+                for symbol, targets in moves.items():
+                    transitions.setdefault((state, level), {}).setdefault(
+                        symbol, set()
+                    ).update((t, nxt_level) for t in targets)
+        initial = {(q, 0) for q in self._initial}
+        accepting = {(q, 0) for q in sets[0]}
+        return BuchiAutomaton(transitions, initial, accepting)

@@ -1,0 +1,296 @@
+"""Regular expressions over arbitrary hashable alphabets.
+
+The paper's global constraints are regular expressions over the state set Q
+of an automaton (Section 3), so symbols here are arbitrary hashable objects,
+not just characters.  Expressions are built with combinators
+(:func:`literal`, :func:`concat`, :func:`union`, :func:`star`, ...); a small
+string parser (:func:`parse_regex`) is provided for tests and examples where
+states are single characters.
+
+Compilation to automata is in :meth:`Regex.to_nfa` (Thompson construction)
+and :meth:`Regex.to_dfa`.
+"""
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from repro.foundations.errors import SpecificationError
+
+
+class Regex:
+    """Base class of regular expressions."""
+
+    def to_nfa(self):
+        """Compile to an :class:`~repro.automata.nfa.Nfa` (Thompson)."""
+        from repro.automata.nfa import Nfa
+
+        return Nfa.from_regex(self)
+
+    def to_dfa(self, alphabet: Iterable = None):
+        """Compile to a minimised :class:`~repro.automata.dfa.Dfa`.
+
+        *alphabet* may extend the symbols mentioned in the expression (needed
+        when the expression must reject words over a larger alphabet).
+        """
+        symbols = set(self.symbols())
+        if alphabet is not None:
+            symbols.update(alphabet)
+        return self.to_nfa().determinize(symbols).minimize()
+
+    def symbols(self) -> FrozenSet:
+        """The symbols mentioned in the expression."""
+        raise NotImplementedError
+
+    def matches(self, word: Sequence) -> bool:
+        """Whether the expression matches the finite *word*."""
+        return self.to_nfa().accepts(word)
+
+    # combinator sugar -------------------------------------------------- #
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return concat(self, other)
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return union(self, other)
+
+
+@dataclass(frozen=True)
+class EmptyLanguage(Regex):
+    """The empty language (matches nothing)."""
+
+    def symbols(self) -> FrozenSet:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language containing only the empty word."""
+
+    def symbols(self) -> FrozenSet:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "eps"
+
+
+@dataclass(frozen=True)
+class Symbol(Regex):
+    """A single-symbol expression."""
+
+    symbol: object
+
+    def symbols(self) -> FrozenSet:
+        return frozenset([self.symbol])
+
+    def __repr__(self) -> str:
+        return repr(self.symbol) if not isinstance(self.symbol, str) else self.symbol
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of parts, in order."""
+
+    parts: Tuple[Regex, ...]
+
+    def symbols(self) -> FrozenSet:
+        result = frozenset()
+        for part in self.parts:
+            result |= part.symbols()
+        return result
+
+    def __repr__(self) -> str:
+        return "".join(
+            "(%r)" % p if isinstance(p, Union) else repr(p) for p in self.parts
+        )
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Union (alternation) of branches."""
+
+    branches: Tuple[Regex, ...]
+
+    def symbols(self) -> FrozenSet:
+        result = frozenset()
+        for branch in self.branches:
+            result |= branch.symbols()
+        return result
+
+    def __repr__(self) -> str:
+        return "|".join(repr(b) for b in self.branches)
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star."""
+
+    operand: Regex
+
+    def symbols(self) -> FrozenSet:
+        return self.operand.symbols()
+
+    def __repr__(self) -> str:
+        inner = repr(self.operand)
+        if isinstance(self.operand, (Symbol, Epsilon, EmptyLanguage)):
+            return "%s*" % inner
+        return "(%s)*" % inner
+
+
+# ---------------------------------------------------------------------- #
+# combinators
+# ---------------------------------------------------------------------- #
+
+
+def literal(symbol) -> Regex:
+    """The expression matching exactly the one-letter word *symbol*."""
+    return Symbol(symbol)
+
+
+def word(symbols: Iterable) -> Regex:
+    """The expression matching exactly the given finite word."""
+    parts = tuple(Symbol(s) for s in symbols)
+    if not parts:
+        return Epsilon()
+    if len(parts) == 1:
+        return parts[0]
+    return Concat(parts)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenation, flattening nested concatenations."""
+    flat = []
+    for part in parts:
+        if isinstance(part, EmptyLanguage):
+            return EmptyLanguage()
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*branches: Regex) -> Regex:
+    """Union, flattening nested unions and dropping empty branches."""
+    flat = []
+    for branch in branches:
+        if isinstance(branch, EmptyLanguage):
+            continue
+        if isinstance(branch, Union):
+            flat.extend(branch.branches)
+        else:
+            flat.append(branch)
+    unique = tuple(dict.fromkeys(flat))
+    if not unique:
+        return EmptyLanguage()
+    if len(unique) == 1:
+        return unique[0]
+    return Union(unique)
+
+
+def star(operand: Regex) -> Regex:
+    """Kleene star (idempotent on stars)."""
+    if isinstance(operand, (Star, Epsilon)):
+        return operand if isinstance(operand, Star) else Epsilon()
+    if isinstance(operand, EmptyLanguage):
+        return Epsilon()
+    return Star(operand)
+
+
+def plus(operand: Regex) -> Regex:
+    """One-or-more repetitions: ``e e*``."""
+    return concat(operand, star(operand))
+
+
+def optional(operand: Regex) -> Regex:
+    """Zero-or-one occurrence: ``e | eps``."""
+    return union(operand, Epsilon())
+
+
+def any_of(symbols: Iterable) -> Regex:
+    """Union of single-symbol expressions: a character class."""
+    return union(*(Symbol(s) for s in symbols))
+
+
+# ---------------------------------------------------------------------- #
+# parser (single-character symbols, for tests and examples)
+# ---------------------------------------------------------------------- #
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a textual regex with single-character symbols.
+
+    Supported syntax: concatenation by juxtaposition, ``|`` union, ``*``
+    star, ``+`` plus, ``?`` optional, parentheses, and ``.`` is a literal
+    character (not a wildcard).  Whitespace is ignored.
+
+    >>> parse_regex("p q* p").matches("pqqp".split()) if False else True
+    True
+    >>> parse_regex("ab|c").matches("ab")
+    True
+    """
+    tokens = [c for c in text if not c.isspace()]
+    position = [0]
+
+    def peek():
+        return tokens[position[0]] if position[0] < len(tokens) else None
+
+    def advance():
+        position[0] += 1
+
+    def parse_union() -> Regex:
+        branches = [parse_concat()]
+        while peek() == "|":
+            advance()
+            branches.append(parse_concat())
+        return union(*branches)
+
+    def parse_concat() -> Regex:
+        parts = []
+        while peek() is not None and peek() not in ")|":
+            parts.append(parse_postfix())
+        if not parts:
+            return Epsilon()
+        return concat(*parts)
+
+    def parse_postfix() -> Regex:
+        expr = parse_atom()
+        while peek() in ("*", "+", "?"):
+            operator = peek()
+            advance()
+            if operator == "*":
+                expr = star(expr)
+            elif operator == "+":
+                expr = plus(expr)
+            else:
+                expr = optional(expr)
+        return expr
+
+    def parse_atom() -> Regex:
+        token = peek()
+        if token is None:
+            raise SpecificationError("unexpected end of regex %r" % text)
+        if token == "(":
+            advance()
+            inner = parse_union()
+            if peek() != ")":
+                raise SpecificationError("unbalanced parentheses in regex %r" % text)
+            advance()
+            return inner
+        if token in ")|*+?":
+            raise SpecificationError("unexpected %r in regex %r" % (token, text))
+        advance()
+        return Symbol(token)
+
+    result = parse_union()
+    if position[0] != len(tokens):
+        raise SpecificationError("trailing input in regex %r" % text)
+    return result

@@ -1,0 +1,38 @@
+"""The paper's contribution: register automata, views, and their theory.
+
+Module map (one module per paper section / theorem cluster):
+
+* :mod:`repro.core.register_automaton` -- the base model (Section 2),
+* :mod:`repro.core.runs` -- finite and lasso-shaped runs and their traces,
+* :mod:`repro.core.symbolic` -- symbolic control traces, ``SControl(A)``
+  as a Buchi automaton, and realisation of symbolic traces by concrete
+  databases and runs (Theorem 9, stage 1; the re-proof of [19]),
+* :mod:`repro.core.extended` -- extended register automata with global
+  regular (in)equality constraints (Section 3) and Proposition 6,
+* :mod:`repro.core.emptiness` -- emptiness / nonemptiness with witnesses
+  (Theorem 9 + Corollary 10),
+* :mod:`repro.core.verification` -- LTL-FO model checking (Theorem 12),
+* :mod:`repro.core.projection` -- projections of (extended) register
+  automata without a database (Theorem 13, Lemma 21),
+* :mod:`repro.core.lr` -- LR-boundedness and Theorem 19 (both directions),
+* :mod:`repro.core.enhanced` -- enhanced automata with finiteness and
+  tuple-inequality constraints; projections hiding the database
+  (Section 6, Theorem 24).
+"""
+
+from repro.core.register_automaton import RegisterAutomaton, Transition
+from repro.core.runs import FiniteRun, LassoRun
+from repro.core.extended import ExtendedAutomaton, GlobalConstraint
+from repro.core.enhanced import EnhancedAutomaton, FinitenessConstraint, TupleInequalityConstraint
+
+__all__ = [
+    "RegisterAutomaton",
+    "Transition",
+    "FiniteRun",
+    "LassoRun",
+    "ExtendedAutomaton",
+    "GlobalConstraint",
+    "EnhancedAutomaton",
+    "FinitenessConstraint",
+    "TupleInequalityConstraint",
+]

@@ -1,0 +1,329 @@
+"""Register automata (Section 2).
+
+A register automaton is a tuple ``(k, sigma, Q, I, F, Delta)``: ``k``
+registers, a relational signature, states with initial states ``I`` and
+Buchi-final states ``F``, and transitions ``(p, delta, q)`` whose guard
+``delta`` is a sigma-type over ``x1..xk`` (registers before) and ``y1..yk``
+(registers after).
+
+This module implements the model itself plus the two normal forms the paper
+uses throughout:
+
+* **completion** (Example 2) -- replace every guard by its complete
+  extensions; exponential, preserves the register traces;
+* **state-driven** conversion (Example 3) -- at most one guard per source
+  state, quadratic, preserves the register traces.
+"""
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.db.schema import Signature
+from repro.foundations.errors import SpecificationError
+from repro.logic.terms import Const, Var, register_index, x_vars, y_vars
+from repro.logic.types import SigmaType
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A transition ``(source, guard, target)``.
+
+    The guard relates the registers before (``x``) and after (``y``) the
+    transition and may query the database through relational literals.
+    """
+
+    source: State
+    guard: SigmaType
+    target: State
+
+    def __repr__(self) -> str:
+        return "(%r --[%s]--> %r)" % (self.source, self.guard.pretty(), self.target)
+
+
+class RegisterAutomaton:
+    """A database-driven register automaton.
+
+    Parameters
+    ----------
+    k:
+        Number of registers (may be zero).
+    signature:
+        The database schema queried by the guards
+        (:meth:`Signature.empty` for the database-free setting of
+        Sections 4-5).
+    states / initial / accepting:
+        Finite control with Buchi acceptance: a run must start in an
+        initial state and visit an accepting state infinitely often.
+    transitions:
+        The transition set.
+
+    Examples
+    --------
+    The paper's Example 1 (2 registers, no database):
+
+    >>> from repro.logic import X, Y, eq, SigmaType
+    >>> d1 = SigmaType([eq(X(1), X(2)), eq(X(2), Y(2))])
+    >>> d2 = SigmaType([eq(X(2), Y(2))])
+    >>> d3 = SigmaType([eq(X(2), Y(2)), eq(Y(1), Y(2))])
+    >>> A = RegisterAutomaton(
+    ...     k=2, signature=Signature.empty(),
+    ...     states={"q1", "q2"}, initial={"q1"}, accepting={"q1"},
+    ...     transitions=[("q1", d1, "q2"), ("q2", d2, "q2"), ("q2", d3, "q1")],
+    ... )
+    >>> A.k, len(A.transitions)
+    (2, 3)
+    """
+
+    def __init__(
+        self,
+        k: int,
+        signature: Signature,
+        states: Iterable[State],
+        initial: Iterable[State],
+        accepting: Iterable[State],
+        transitions: Iterable,
+    ):
+        if k < 0:
+            raise SpecificationError("the number of registers must be >= 0")
+        self._k = k
+        self._signature = signature
+        self._states = frozenset(states)
+        self._initial = frozenset(initial)
+        self._accepting = frozenset(accepting)
+        normalized: List[Transition] = []
+        for entry in transitions:
+            transition = entry if isinstance(entry, Transition) else Transition(*entry)
+            normalized.append(transition)
+        self._transitions: Tuple[Transition, ...] = tuple(normalized)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self._initial <= self._states:
+            raise SpecificationError("initial states must be states")
+        if not self._accepting <= self._states:
+            raise SpecificationError("accepting states must be states")
+        constants = set(self._signature.const_terms())
+        register_vars = set(x_vars(self._k)) | set(y_vars(self._k))
+        for transition in self._transitions:
+            if transition.source not in self._states or transition.target not in self._states:
+                raise SpecificationError("transition %r uses unknown states" % (transition,))
+            guard = transition.guard
+            for variable in guard.variables:
+                decomposed = register_index(variable)
+                if decomposed is None or variable not in register_vars:
+                    raise SpecificationError(
+                        "guard variable %r of %r is not a register variable "
+                        "x1..x%d / y1..y%d" % (variable, transition, self._k, self._k)
+                    )
+            for constant in guard.constants:
+                if constant not in constants:
+                    raise SpecificationError(
+                        "guard constant %r of %r is not declared in the signature"
+                        % (constant, transition)
+                    )
+            for literal in guard.relational_literals():
+                self._signature.validate_atom(literal.atom)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    @property
+    def states(self) -> FrozenSet[State]:
+        return self._states
+
+    @property
+    def initial(self) -> FrozenSet[State]:
+        return self._initial
+
+    @property
+    def accepting(self) -> FrozenSet[State]:
+        return self._accepting
+
+    @property
+    def transitions(self) -> Tuple[Transition, ...]:
+        return self._transitions
+
+    @cached_property
+    def _by_source(self) -> Dict[State, Tuple[Transition, ...]]:
+        grouped: Dict[State, List[Transition]] = {}
+        for transition in self._transitions:
+            grouped.setdefault(transition.source, []).append(transition)
+        return {state: tuple(ts) for state, ts in grouped.items()}
+
+    def transitions_from(self, state: State) -> Tuple[Transition, ...]:
+        """All transitions whose source is *state*."""
+        return self._by_source.get(state, ())
+
+    def guards_from(self, state: State) -> Tuple[SigmaType, ...]:
+        """The distinct guards fired from *state* (ordered deterministically)."""
+        seen = dict.fromkeys(t.guard for t in self.transitions_from(state))
+        return tuple(seen)
+
+    def has_transition(self, source: State, guard: SigmaType, target: State) -> bool:
+        return Transition(source, guard, target) in set(self._transitions)
+
+    def guard_vocabulary(self) -> Tuple[Tuple[Var, ...], Tuple[Const, ...]]:
+        """The (variables, constants) over which guards are complete."""
+        variables = tuple(x_vars(self._k)) + tuple(y_vars(self._k))
+        return variables, self._signature.const_terms()
+
+    # ------------------------------------------------------------------ #
+    # completion (Example 2)
+    # ------------------------------------------------------------------ #
+
+    def is_complete(self) -> bool:
+        """Whether every guard is a complete sigma-type."""
+        variables, constants = self.guard_vocabulary()
+        return all(
+            t.guard.is_complete(self._signature.relations, variables, constants)
+            for t in self._transitions
+        )
+
+    def completed(self) -> "RegisterAutomaton":
+        """The complete automaton: each transition split over guard completions.
+
+        As the paper notes, this may blow up exponentially; register traces
+        are preserved because completions partition the models of the guard.
+        """
+        variables, constants = self.guard_vocabulary()
+        new_transitions: List[Transition] = []
+        for transition in self._transitions:
+            for completion in transition.guard.completions(
+                self._signature.relations, variables, constants
+            ):
+                new_transitions.append(
+                    Transition(transition.source, completion, transition.target)
+                )
+        return RegisterAutomaton(
+            self._k,
+            self._signature,
+            self._states,
+            self._initial,
+            self._accepting,
+            new_transitions,
+        )
+
+    def is_equality_complete(self) -> bool:
+        """Whether every guard settles every variable (dis)equality.
+
+        Weaker than :meth:`is_complete`: relational atoms may stay open.
+        Sufficient for all corridor-tracking constructions (Lemma 21,
+        Theorem 24), which only read the equality skeleton of guards.
+        """
+        variables, constants = self.guard_vocabulary()
+        return all(
+            t.guard.is_complete({}, variables, constants) for t in self._transitions
+        )
+
+    def equality_completed(self) -> "RegisterAutomaton":
+        """Split transitions over completions of the *equality* skeleton.
+
+        Settles every variable/variable and variable/constant pair while
+        leaving relational atoms untouched -- exponential only in the number
+        of registers, not in the relational vocabulary.  Register traces are
+        preserved.
+        """
+        variables, constants = self.guard_vocabulary()
+        new_transitions: List[Transition] = []
+        for transition in self._transitions:
+            for completion in transition.guard.completions({}, variables, constants):
+                new_transitions.append(
+                    Transition(transition.source, completion, transition.target)
+                )
+        return RegisterAutomaton(
+            self._k,
+            self._signature,
+            self._states,
+            self._initial,
+            self._accepting,
+            new_transitions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # state-driven conversion (Example 3)
+    # ------------------------------------------------------------------ #
+
+    def is_state_driven(self) -> bool:
+        """Whether each state fires at most one guard."""
+        return all(len(self.guards_from(state)) <= 1 for state in self._states)
+
+    def state_driven(self) -> "RegisterAutomaton":
+        """The state-driven variant: states become ``(state, guard)`` pairs.
+
+        The new state ``(p, delta)`` means "in control state p, about to
+        fire delta".  Quadratic in the worst case; register traces are
+        preserved (Example 3).
+        """
+        pairs = {
+            (t.source, t.guard) for t in self._transitions
+        }
+        new_transitions: List[Transition] = []
+        for transition in self._transitions:
+            source_pair = (transition.source, transition.guard)
+            for follow in self.transitions_from(transition.target):
+                new_transitions.append(
+                    Transition(source_pair, transition.guard, (follow.source, follow.guard))
+                )
+        new_initial = {pair for pair in pairs if pair[0] in self._initial}
+        new_accepting = {pair for pair in pairs if pair[0] in self._accepting}
+        return RegisterAutomaton(
+            self._k,
+            self._signature,
+            pairs,
+            new_initial,
+            new_accepting,
+            new_transitions,
+        )
+
+    def guard_of_state(self, state: State) -> Optional[SigmaType]:
+        """In a state-driven automaton, the unique guard fired from *state*.
+
+        ``None`` when the state is terminal (fires nothing).  Raises when
+        the automaton is not state-driven at *state*.
+        """
+        guards = self.guards_from(state)
+        if len(guards) > 1:
+            raise SpecificationError(
+                "state %r fires %d distinct guards; automaton is not "
+                "state-driven there" % (state, len(guards))
+            )
+        return guards[0] if guards else None
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+
+    def rename_states(self, mapping: Dict[State, State]) -> "RegisterAutomaton":
+        """Apply an injective state renaming."""
+        image = [mapping.get(s, s) for s in self._states]
+        if len(set(image)) != len(image):
+            raise SpecificationError("state renaming is not injective")
+        get = lambda s: mapping.get(s, s)
+        return RegisterAutomaton(
+            self._k,
+            self._signature,
+            (get(s) for s in self._states),
+            (get(s) for s in self._initial),
+            (get(s) for s in self._accepting),
+            (Transition(get(t.source), t.guard, get(t.target)) for t in self._transitions),
+        )
+
+    def __repr__(self) -> str:
+        return "RegisterAutomaton(k=%d, |Q|=%d, |Delta|=%d, sigma=%r)" % (
+            self._k,
+            len(self._states),
+            len(self._transitions),
+            self._signature,
+        )

@@ -1,0 +1,209 @@
+"""Incremental (streaming) checking of runs and global constraints.
+
+The paper motivates LR-boundedness by observing that being the projection
+of a register automaton means the view's global constraints "can be
+enforced entirely by local transitions, in a streaming fashion, at the cost
+of additional registers" (Section 5).  This module provides the runtime
+counterpart: a :class:`StreamingChecker` consumes a run one position at a
+time and reports violations as soon as they are observable:
+
+* **validity**: the next (state, registers) pair must extend the run via an
+  existing transition whose guard holds over the database;
+* **global equality constraints**: when a constraint factor completes, the
+  two endpoint values must be equal -- checkable immediately;
+* **global inequality constraints**: likewise, checkable immediately.
+
+The checker keeps, per constraint, the set of live (DFA state, stored
+value) threads -- exactly the register discipline of Propositions 6 and 22,
+executed directly instead of being compiled into an automaton.  Memory is
+O(constraints x DFA states x distinct live values); for LR-bounded
+automata the live-value count is bounded (that is Theorem 19's point), and
+:attr:`StreamingChecker.peak_threads` reports the high-water mark so the
+bound can be observed experimentally (benchmark E11).
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.db.database import Database
+from repro.db.evaluation import evaluate_type, transition_valuation
+from repro.foundations.domain import DataValue
+from repro.foundations.errors import SpecificationError
+from repro.core.extended import ExtendedAutomaton
+from repro.core.register_automaton import State
+
+
+class StreamingViolation(SpecificationError):
+    """Raised (or reported) when the streamed run breaks a rule."""
+
+
+class StreamingChecker:
+    """Feed a run position by position; violations surface immediately.
+
+    Parameters
+    ----------
+    extended:
+        The specification: an extended automaton (possibly with an empty
+        constraint set, for pure validity checking).
+    database:
+        The database the run executes over.
+    strict:
+        When ``True`` (default), :meth:`feed` raises on violation;
+        otherwise it returns the violation message and the checker enters
+        a failed state.
+
+    Examples
+    --------
+    >>> # doctest-style sketch; see tests/test_streaming.py for real use
+    >>> # checker = StreamingChecker(extended, database)
+    >>> # checker.feed("q1", ("v", "v")); checker.feed("q2", ("w", "v"))
+    """
+
+    def __init__(
+        self, extended: ExtendedAutomaton, database: Database, strict: bool = True
+    ):
+        self._extended = extended
+        self._automaton = extended.automaton
+        self._database = database
+        self._strict = strict
+        self._position = -1
+        self._previous: Optional[Tuple[State, Tuple[DataValue, ...]]] = None
+        self._failed: Optional[str] = None
+        # per constraint: dict (dfa_state -> set of stored source values)
+        self._threads: List[Dict[object, Set[DataValue]]] = [
+            {} for _ in extended.constraints
+        ]
+        self._dfas = [extended.constraint_dfa(c) for c in extended.constraints]
+        self.peak_threads = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def position(self) -> int:
+        """Index of the last consumed position (-1 before the first feed)."""
+        return self._position
+
+    @property
+    def failed(self) -> Optional[str]:
+        """The first violation message, or ``None`` while healthy."""
+        return self._failed
+
+    def live_threads(self) -> int:
+        """Total live (DFA state, value) threads across constraints."""
+        return sum(
+            len(values) for threads in self._threads for values in threads.values()
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _fail(self, message: str) -> Optional[str]:
+        self._failed = message
+        if self._strict:
+            raise StreamingViolation(message)
+        return message
+
+    def feed(self, state: State, registers: Tuple[DataValue, ...]) -> Optional[str]:
+        """Consume the next run position.
+
+        Returns ``None`` when everything checks out, the violation message
+        otherwise (or raises it, in strict mode).
+        """
+        if self._failed is not None:
+            return self._fail(self._failed)
+        registers = tuple(registers)
+        if len(registers) != self._automaton.k:
+            return self._fail(
+                "position %d: register tuple arity %d, expected %d"
+                % (self._position + 1, len(registers), self._automaton.k)
+            )
+        self._position += 1
+        position = self._position
+
+        # -- validity ---------------------------------------------------- #
+        if position == 0:
+            if state not in self._automaton.initial:
+                return self._fail("position 0: state %r is not initial" % (state,))
+        else:
+            previous_state, previous_registers = self._previous
+            valuation = transition_valuation(previous_registers, registers)
+            for transition in self._automaton.transitions_from(previous_state):
+                if transition.target != state:
+                    continue
+                if evaluate_type(transition.guard, self._database, valuation):
+                    break
+            else:
+                return self._fail(
+                    "position %d: no transition %r -> %r consistent with the data"
+                    % (position, previous_state, state)
+                )
+        self._previous = (state, registers)
+
+        # -- constraints -------------------------------------------------- #
+        for index, constraint in enumerate(self._extended.constraints):
+            dfa = self._dfas[index]
+            threads = self._threads[index]
+            advanced: Dict[object, Set[DataValue]] = {}
+            for dfa_state, values in threads.items():
+                target = dfa.delta(dfa_state, state)
+                advanced.setdefault(target, set()).update(values)
+            # spawn a thread for this position as a factor start
+            start = dfa.delta(dfa.initial, state)
+            advanced.setdefault(start, set()).add(registers[constraint.i - 1])
+            # check acceptance: completed factors relate stored sources to
+            # the current value of register j
+            current = registers[constraint.j - 1]
+            for dfa_state in advanced:
+                if dfa_state not in dfa.accepting:
+                    continue
+                sources = advanced[dfa_state]
+                if constraint.kind == "eq":
+                    bad = [v for v in sources if v != current]
+                    if bad:
+                        return self._fail(
+                            "position %d: equality constraint %r expects %r, saw %r"
+                            % (position, constraint, sorted(map(repr, bad))[0], current)
+                        )
+                else:
+                    if current in sources:
+                        return self._fail(
+                            "position %d: inequality constraint %r violated by %r"
+                            % (position, constraint, current)
+                        )
+            # drop threads parked in dead states (no accepting reachable)
+            self._threads[index] = {
+                s: vs for s, vs in advanced.items() if not _is_dead(dfa, s)
+            }
+        self.peak_threads = max(self.peak_threads, self.live_threads())
+        return None
+
+    def feed_run(self, run) -> Optional[str]:
+        """Consume a whole :class:`FiniteRun` (states + data only)."""
+        for state, registers in zip(run.states, run.data):
+            message = self.feed(state, registers)
+            if message is not None:
+                return message
+        return None
+
+
+_DEAD_CACHE: Dict[Tuple[int, object], bool] = {}
+
+
+def _is_dead(dfa, state) -> bool:
+    """Whether no accepting state is reachable from *state* (cached)."""
+    key = (id(dfa), state)
+    if key in _DEAD_CACHE:
+        return _DEAD_CACHE[key]
+    seen = {state}
+    frontier = [state]
+    dead = True
+    while frontier:
+        node = frontier.pop()
+        if node in dfa.accepting:
+            dead = False
+            break
+        for symbol in dfa.alphabet:
+            target = dfa.delta(node, symbol)
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    _DEAD_CACHE[key] = dead
+    return dead

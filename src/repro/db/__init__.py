@@ -1,0 +1,21 @@
+"""Relational databases over the infinite data domain (Section 2).
+
+A *database schema* (signature) is a finite set of relation symbols with
+arities plus finitely many constant symbols.  A *database* maps each relation
+to a finite relation over ``D`` and each constant symbol to an element of
+``D``.  The automata query databases only through quantifier-free formulas,
+implemented in :mod:`repro.db.evaluation`.
+"""
+
+from repro.db.database import Database
+from repro.db.evaluation import Valuation, evaluate_formula, evaluate_literal, evaluate_type
+from repro.db.schema import Signature
+
+__all__ = [
+    "Signature",
+    "Database",
+    "Valuation",
+    "evaluate_formula",
+    "evaluate_literal",
+    "evaluate_type",
+]

@@ -1,0 +1,148 @@
+"""Finite databases over the data domain.
+
+A :class:`Database` interprets every relation of its signature as a finite
+set of tuples over ``D`` and every constant symbol as an element of ``D``.
+The *active domain* is the set of values occurring in relations plus the
+constants (Section 2).
+"""
+
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from repro.foundations.domain import DataValue
+from repro.foundations.errors import SpecificationError
+from repro.db.schema import Signature
+
+
+class Database:
+    """A finite relational structure over a :class:`Signature`.
+
+    Parameters
+    ----------
+    signature:
+        The schema this database instantiates.
+    relations:
+        Mapping from relation name to an iterable of tuples.  Relations
+        missing from the mapping are interpreted as empty.
+    constants:
+        Mapping from constant symbol to its denotation.  Every constant of
+        the signature must be given a value.
+
+    Examples
+    --------
+    >>> sig = Signature(relations={"E": 2, "U": 1})
+    >>> db = Database(sig, relations={"E": [("c", "d0")], "U": [("d0",), ("d1",)]})
+    >>> sorted(db.active_domain())
+    ['c', 'd0', 'd1']
+    """
+
+    def __init__(
+        self,
+        signature: Signature,
+        relations: Dict[str, Iterable[Tuple[DataValue, ...]]] = None,
+        constants: Dict[str, DataValue] = None,
+    ):
+        self._signature = signature
+        self._relations: Dict[str, FrozenSet[Tuple[DataValue, ...]]] = {}
+        provided = relations or {}
+        for name in provided:
+            if not signature.has_relation(name):
+                raise SpecificationError("database populates unknown relation %r" % name)
+        for name, arity in signature.relations.items():
+            rows = set()
+            for row in provided.get(name, ()):
+                row = tuple(row)
+                if len(row) != arity:
+                    raise SpecificationError(
+                        "tuple %r has wrong arity for relation %s/%d" % (row, name, arity)
+                    )
+                rows.add(row)
+            self._relations[name] = frozenset(rows)
+        self._constants: Dict[str, DataValue] = dict(constants or {})
+        missing = set(signature.constants) - set(self._constants)
+        if missing:
+            raise SpecificationError("constants missing a denotation: %s" % sorted(missing))
+        extra = set(self._constants) - set(signature.constants)
+        if extra:
+            raise SpecificationError("denotations for undeclared constants: %s" % sorted(extra))
+
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def tuples(self, relation: str) -> FrozenSet[Tuple[DataValue, ...]]:
+        """The finite relation interpreting *relation*."""
+        if relation not in self._relations:
+            raise SpecificationError("unknown relation %r" % relation)
+        return self._relations[relation]
+
+    def holds(self, relation: str, row: Tuple[DataValue, ...]) -> bool:
+        """Whether ``relation(row)`` is a fact of this database."""
+        return tuple(row) in self.tuples(relation)
+
+    def constant_value(self, name: str) -> DataValue:
+        """The denotation of constant symbol *name*."""
+        if name not in self._constants:
+            raise SpecificationError("unknown constant symbol %r" % name)
+        return self._constants[name]
+
+    def active_domain(self) -> FrozenSet[DataValue]:
+        """All values occurring in relations, plus the constants."""
+        found: Set[DataValue] = set(self._constants.values())
+        for rows in self._relations.values():
+            for row in rows:
+                found.update(row)
+        return frozenset(found)
+
+    def size(self) -> int:
+        """Total number of facts."""
+        return sum(len(rows) for rows in self._relations.values())
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    def with_facts(self, relation: str, rows: Iterable[Tuple[DataValue, ...]]) -> "Database":
+        """A new database with extra facts added to *relation*."""
+        merged = {name: set(existing) for name, existing in self._relations.items()}
+        merged.setdefault(relation, set()).update(tuple(r) for r in rows)
+        return Database(self._signature, relations=merged, constants=self._constants)
+
+    def without_facts(self, relation: str, rows: Iterable[Tuple[DataValue, ...]]) -> "Database":
+        """A new database with the given facts removed from *relation*."""
+        merged = {name: set(existing) for name, existing in self._relations.items()}
+        merged[relation] = merged.get(relation, set()) - {tuple(r) for r in rows}
+        return Database(self._signature, relations=merged, constants=self._constants)
+
+    def rename_values(self, mapping: Dict[DataValue, DataValue]) -> "Database":
+        """Apply an injective value renaming (used by isomorphism arguments)."""
+        image = [mapping.get(v, v) for v in self.active_domain()]
+        if len(set(image)) != len(image):
+            raise SpecificationError("value renaming is not injective on the active domain")
+        renamed = {
+            name: {tuple(mapping.get(v, v) for v in row) for row in rows}
+            for name, rows in self._relations.items()
+        }
+        consts = {name: mapping.get(v, v) for name, v in self._constants.items()}
+        return Database(self._signature, relations=renamed, constants=consts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return (
+            self._signature == other._signature
+            and self._relations == other._relations
+            and self._constants == other._constants
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in sorted(self._relations):
+            rows = sorted(self._relations[name])
+            parts.append("%s=%s" % (name, rows))
+        for name in sorted(self._constants):
+            parts.append("%s:=%r" % (name, self._constants[name]))
+        return "Database(%s)" % "; ".join(parts)

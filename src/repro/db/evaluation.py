@@ -1,0 +1,89 @@
+"""Evaluation of quantifier-free formulas and types over a database.
+
+Given a database ``D``, a quantifier-free formula ``phi(x)`` and a valuation
+``a`` for the free variables, this module decides ``D |= phi(a)``
+(Section 2).  Types are evaluated as conjunctions of literals; constants are
+resolved through the database's constant map.
+"""
+
+from typing import Dict, Mapping
+
+from repro.foundations.domain import DataValue
+from repro.foundations.errors import EvaluationError
+from repro.db.database import Database
+from repro.logic.formulas import And, AtomFormula, FalseFormula, Formula, Not, Or, TrueFormula
+from repro.logic.literals import EqAtom, Literal, RelAtom
+from repro.logic.terms import Const, Term, Var
+from repro.logic.types import SigmaType
+
+#: A valuation assigns data values to variables.
+Valuation = Mapping[Var, DataValue]
+
+
+def resolve_term(term: Term, database: Database, valuation: Valuation) -> DataValue:
+    """The data value denoted by *term* under the database and valuation."""
+    if isinstance(term, Const):
+        return database.constant_value(term.name)
+    if term in valuation:
+        return valuation[term]
+    raise EvaluationError("no value for variable %r in the valuation" % term)
+
+
+def evaluate_atom(atom, database: Database, valuation: Valuation) -> bool:
+    """Truth of an atom under the database and valuation."""
+    if isinstance(atom, EqAtom):
+        return resolve_term(atom.left, database, valuation) == resolve_term(
+            atom.right, database, valuation
+        )
+    if isinstance(atom, RelAtom):
+        database.signature.validate_atom(atom)
+        row = tuple(resolve_term(t, database, valuation) for t in atom.args)
+        return database.holds(atom.relation, row)
+    raise EvaluationError("unknown atom kind %r" % (atom,))
+
+
+def evaluate_literal(literal: Literal, database: Database, valuation: Valuation) -> bool:
+    """Truth of a literal under the database and valuation."""
+    value = evaluate_atom(literal.atom, database, valuation)
+    return value if literal.positive else not value
+
+
+def evaluate_type(delta: SigmaType, database: Database, valuation: Valuation) -> bool:
+    """Whether ``D |= delta(valuation)``: all literals hold."""
+    return all(evaluate_literal(l, database, valuation) for l in delta.literals)
+
+
+def evaluate_formula(formula: Formula, database: Database, valuation: Valuation) -> bool:
+    """Truth of a quantifier-free formula under the database and valuation."""
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, AtomFormula):
+        return evaluate_atom(formula.atom, database, valuation)
+    if isinstance(formula, Not):
+        return not evaluate_formula(formula.operand, database, valuation)
+    if isinstance(formula, And):
+        return all(evaluate_formula(op, database, valuation) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(evaluate_formula(op, database, valuation) for op in formula.operands)
+    raise EvaluationError("unknown formula kind %r" % (formula,))
+
+
+def transition_valuation(
+    before: tuple, after: tuple, extra: Dict[Var, DataValue] = None
+) -> Dict[Var, DataValue]:
+    """The valuation sending ``x_i -> before[i-1]`` and ``y_i -> after[i-1]``.
+
+    This is how transition guards are evaluated: *before* holds the register
+    contents at the current position, *after* at the next one.  *extra* may
+    supply values for additional variables (e.g. LTL-FO globals).
+    """
+    valuation: Dict[Var, DataValue] = {}
+    for index, value in enumerate(before, start=1):
+        valuation[Var("x%d" % index)] = value
+    for index, value in enumerate(after, start=1):
+        valuation[Var("y%d" % index)] = value
+    if extra:
+        valuation.update(extra)
+    return valuation

@@ -1,0 +1,112 @@
+"""Relational signatures (database schemas).
+
+A :class:`Signature` fixes the vocabulary available to a register automaton:
+relation symbols with arities and constant symbols.  The empty signature
+(``Signature.empty()``) corresponds to automata "without a database", the
+setting of Sections 4 and 5 of the paper.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from repro.foundations.errors import SpecificationError
+from repro.logic.literals import RelAtom
+from repro.logic.terms import Const
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A relational signature: relations with arities, plus constants.
+
+    Parameters
+    ----------
+    relations:
+        Mapping from relation name to arity (a non-negative integer).
+    constants:
+        Names of the constant symbols.
+
+    Examples
+    --------
+    >>> sig = Signature(relations={"E": 2, "U": 1}, constants=("root",))
+    >>> sig.arity("E")
+    2
+    >>> sig.const("root")
+    ~root
+    """
+
+    relations: Dict[str, int] = field(default_factory=dict)
+    constants: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, arity in self.relations.items():
+            if not isinstance(arity, int) or arity < 0:
+                raise SpecificationError(
+                    "relation %r must have a non-negative integer arity, got %r" % (name, arity)
+                )
+        if len(set(self.constants)) != len(self.constants):
+            raise SpecificationError("duplicate constant symbols in %r" % (self.constants,))
+        overlap = set(self.relations) & set(self.constants)
+        if overlap:
+            raise SpecificationError(
+                "names used both as relation and constant: %s" % sorted(overlap)
+            )
+
+    @staticmethod
+    def empty() -> "Signature":
+        """The empty signature (automata without a database)."""
+        return Signature()
+
+    def is_empty(self) -> bool:
+        """Whether there are neither relations nor constants."""
+        return not self.relations and not self.constants
+
+    def has_relation(self, name: str) -> bool:
+        return name in self.relations
+
+    def arity(self, name: str) -> int:
+        """Arity of relation *name* (raises on unknown relations)."""
+        if name not in self.relations:
+            raise SpecificationError("unknown relation %r" % name)
+        return self.relations[name]
+
+    def const(self, name: str) -> Const:
+        """The :class:`Const` term for constant symbol *name*."""
+        if name not in self.constants:
+            raise SpecificationError("unknown constant symbol %r" % name)
+        return Const(name)
+
+    def const_terms(self) -> Tuple[Const, ...]:
+        """All constant symbols, as terms, in declaration order."""
+        return tuple(Const(name) for name in self.constants)
+
+    def validate_atom(self, atom: RelAtom) -> None:
+        """Check a relational atom against the signature."""
+        if atom.relation not in self.relations:
+            raise SpecificationError("atom %r uses unknown relation" % (atom,))
+        expected = self.relations[atom.relation]
+        if len(atom.args) != expected:
+            raise SpecificationError(
+                "atom %r has %d arguments, relation %s has arity %d"
+                % (atom, len(atom.args), atom.relation, expected)
+            )
+
+    def extend(
+        self, relations: Dict[str, int] = None, constants: Iterable[str] = ()
+    ) -> "Signature":
+        """A new signature with additional relations/constants."""
+        merged = dict(self.relations)
+        for name, arity in (relations or {}).items():
+            if name in merged and merged[name] != arity:
+                raise SpecificationError(
+                    "relation %r redeclared with a different arity" % name
+                )
+            merged[name] = arity
+        new_constants = tuple(self.constants) + tuple(
+            c for c in constants if c not in self.constants
+        )
+        return Signature(relations=merged, constants=new_constants)
+
+    def __repr__(self) -> str:
+        rels = ", ".join("%s/%d" % (n, a) for n, a in sorted(self.relations.items()))
+        consts = ", ".join(self.constants)
+        return "Signature(%s%s)" % (rels or "-", ("; consts: " + consts) if consts else "")

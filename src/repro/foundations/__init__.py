@@ -1,0 +1,26 @@
+"""Foundational utilities shared by every layer of the library.
+
+The paper fixes an infinite data domain ``D`` (Section 2).  We model data
+values as arbitrary hashable Python objects and provide a :class:`FreshSupply`
+that hands out values guaranteed not to collide with any value seen so far --
+this realises the standing assumption that *"for every run there are
+infinitely many values in D that do not occur in it"*.
+"""
+
+from repro.foundations.domain import DataValue, FreshSupply, is_data_value
+from repro.foundations.errors import (
+    EvaluationError,
+    InconsistentTypeError,
+    ReproError,
+    SpecificationError,
+)
+
+__all__ = [
+    "DataValue",
+    "FreshSupply",
+    "is_data_value",
+    "ReproError",
+    "SpecificationError",
+    "InconsistentTypeError",
+    "EvaluationError",
+]

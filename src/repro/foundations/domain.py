@@ -1,0 +1,76 @@
+"""The infinite data domain ``D`` and fresh-value generation.
+
+Data values in the paper are uninterpreted elements of an infinite domain:
+the automata may only compare them for (in)equality and look them up in
+database relations.  We therefore accept any hashable Python object as a data
+value, and provide :class:`FreshSupply` for manufacturing values that are
+guaranteed to be distinct from everything produced or registered before.
+"""
+
+from itertools import count
+from typing import Hashable, Iterable, Iterator, Set
+
+#: Type alias for members of the data domain ``D``.
+DataValue = Hashable
+
+
+def is_data_value(obj: object) -> bool:
+    """Return ``True`` when *obj* can serve as a data value (is hashable)."""
+    try:
+        hash(obj)
+    except TypeError:
+        return False
+    return True
+
+
+class FreshSupply:
+    """A deterministic source of data values never seen before.
+
+    The paper's constructions repeatedly need "a fresh value" -- for example
+    the chase in Theorem 9 introduces *"fresh new elements as needed"*, and
+    Lemma 25 maps register classes to *"an arbitrary value in D - adom(D)"*.
+    A :class:`FreshSupply` realises this: it produces strings of the form
+    ``"<prefix><n>"`` while skipping anything registered as used.
+
+    Parameters
+    ----------
+    used:
+        Initial collection of values that must never be produced.
+    prefix:
+        Prefix of generated value names; purely cosmetic, helps debugging.
+
+    Examples
+    --------
+    >>> supply = FreshSupply(used={"fresh0"})
+    >>> supply.take()
+    'fresh1'
+    >>> supply.take()
+    'fresh2'
+    """
+
+    def __init__(self, used: Iterable[DataValue] = (), prefix: str = "fresh"):
+        self._used: Set[DataValue] = set(used)
+        self._prefix = prefix
+        self._counter = count()
+
+    def reserve(self, values: Iterable[DataValue]) -> None:
+        """Mark *values* as used so they are never produced later."""
+        self._used.update(values)
+
+    def take(self) -> DataValue:
+        """Return a data value distinct from every reserved/produced one."""
+        for n in self._counter:
+            candidate = "%s%d" % (self._prefix, n)
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return candidate
+        raise AssertionError("unreachable: count() is infinite")
+
+    def take_many(self, how_many: int) -> list:
+        """Return *how_many* pairwise-distinct fresh values."""
+        return [self.take() for _ in range(how_many)]
+
+    def __iter__(self) -> Iterator[DataValue]:
+        """Iterate over an endless stream of fresh values."""
+        while True:
+            yield self.take()

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the library.
+
+Every exception raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing genuine programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SpecificationError(ReproError):
+    """An automaton, type, schema or constraint is ill-formed.
+
+    Raised eagerly at construction time: the library validates inputs when
+    objects are built so that algorithmic code can assume well-formedness.
+    """
+
+
+class InconsistentTypeError(SpecificationError):
+    """A sigma-type is unsatisfiable (e.g. contains ``x = y`` and ``x != y``).
+
+    The paper requires types to be *satisfiable* conjunctions of literals;
+    constructing an unsatisfiable one is a specification bug.
+    """
+
+
+class EvaluationError(ReproError):
+    """A formula or type could not be evaluated against a database/valuation.
+
+    Typical causes: a free variable missing from the valuation, or a relation
+    symbol absent from the database's schema.
+    """

@@ -1,0 +1,20 @@
+"""Synthetic instance generators for tests and benchmarks.
+
+The paper has no evaluation section; all experiments in this repository run
+on synthetic workloads produced here (see DESIGN.md).  Everything is
+deterministic given the ``random.Random`` seed.
+"""
+
+from repro.generators.automata import (
+    random_database,
+    random_equality_type,
+    random_extended_automaton,
+    random_register_automaton,
+)
+
+__all__ = [
+    "random_equality_type",
+    "random_register_automaton",
+    "random_extended_automaton",
+    "random_database",
+]

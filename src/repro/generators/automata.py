@@ -1,0 +1,185 @@
+"""Random register automata, extended automata and databases.
+
+Guard generation works by sampling a random partition of the variables
+``x1..xk, y1..yk`` into equality blocks and asserting equality within
+(some) blocks and disequality between (some) block pairs -- every sampled
+guard is satisfiable by construction.  Relational literals, when a
+signature is supplied, apply relations to randomly chosen variables with a
+random polarity, retrying on (rare) unsatisfiable combinations.
+"""
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.automata.regex import Regex, any_of, concat, literal, plus, star
+from repro.db.database import Database
+from repro.db.schema import Signature
+from repro.foundations.errors import InconsistentTypeError
+from repro.logic.literals import eq, neq, nrel, rel
+from repro.logic.terms import Var, X, Y
+from repro.logic.types import SigmaType
+from repro.core.extended import ExtendedAutomaton, GlobalConstraint
+from repro.core.register_automaton import RegisterAutomaton, Transition
+
+
+def random_equality_type(
+    rng: random.Random,
+    k: int,
+    equality_density: float = 0.5,
+    inequality_density: float = 0.3,
+) -> SigmaType:
+    """A random satisfiable equality type over ``x1..xk, y1..yk``.
+
+    Samples a random partition of the 2k variables; equality literals
+    connect (a sampled fraction of) variables within blocks, disequalities
+    (a sampled fraction of) block pairs.
+    """
+    variables: List[Var] = [X(i) for i in range(1, k + 1)] + [Y(i) for i in range(1, k + 1)]
+    rng.shuffle(variables)
+    blocks: List[List[Var]] = []
+    for variable in variables:
+        if blocks and rng.random() < 0.5:
+            rng.choice(blocks).append(variable)
+        else:
+            blocks.append([variable])
+    literals = []
+    for block in blocks:
+        for left, right in zip(block, block[1:]):
+            if rng.random() < equality_density:
+                literals.append(eq(left, right))
+    for index_a in range(len(blocks)):
+        for index_b in range(index_a + 1, len(blocks)):
+            if rng.random() < inequality_density:
+                literals.append(
+                    neq(rng.choice(blocks[index_a]), rng.choice(blocks[index_b]))
+                )
+    return SigmaType(literals)
+
+
+def random_guard(
+    rng: random.Random,
+    k: int,
+    signature: Signature,
+    relational_density: float = 0.4,
+) -> SigmaType:
+    """A random satisfiable guard, with relational literals when possible."""
+    base = random_equality_type(rng, k)
+    if signature.is_empty() or k == 0:
+        return base
+    variables = [X(i) for i in range(1, k + 1)] + [Y(i) for i in range(1, k + 1)]
+    for relation, arity in sorted(signature.relations.items()):
+        if rng.random() >= relational_density:
+            continue
+        args = tuple(rng.choice(variables) for _ in range(arity))
+        maker = rel if rng.random() < 0.7 else nrel
+        try:
+            base = base.with_literals([maker(relation, *args)])
+        except InconsistentTypeError:
+            continue
+    return base
+
+
+def random_register_automaton(
+    rng: random.Random,
+    k: int = 2,
+    n_states: int = 3,
+    n_transitions: int = 5,
+    signature: Signature = None,
+    ensure_live: bool = True,
+) -> RegisterAutomaton:
+    """A random register automaton.
+
+    All states are reachable targets of some transition chain from state 0
+    when *ensure_live* (a spanning skeleton is laid first, then extra
+    random transitions), so runs usually exist.
+    """
+    signature = signature or Signature.empty()
+    states = ["s%d" % index for index in range(n_states)]
+    transitions: List[Transition] = []
+    if ensure_live:
+        for index in range(n_states):
+            source = states[index]
+            target = states[(index + 1) % n_states]
+            transitions.append(
+                Transition(source, random_guard(rng, k, signature), target)
+            )
+    while len(transitions) < n_transitions:
+        source = rng.choice(states)
+        target = rng.choice(states)
+        transitions.append(Transition(source, random_guard(rng, k, signature), target))
+    accepting = {states[0]}
+    if n_states > 1 and rng.random() < 0.5:
+        accepting.add(rng.choice(states))
+    return RegisterAutomaton(
+        k=k,
+        signature=signature,
+        states=states,
+        initial={states[0]},
+        accepting=accepting,
+        transitions=transitions,
+    )
+
+
+def random_constraint_regex(rng: random.Random, states: Sequence) -> Regex:
+    """A short random regex over the given states (anchored shapes).
+
+    Shapes: ``a b``, ``a X* b``, ``a X+ b`` with ``X`` a random subset --
+    the anchored factor patterns global constraints typically take.
+    """
+    states = list(states)
+    first = literal(rng.choice(states))
+    last = literal(rng.choice(states))
+    shape = rng.randrange(3)
+    if shape == 0:
+        return concat(first, last)
+    middle_pool = rng.sample(states, k=max(1, rng.randrange(1, len(states) + 1)))
+    middle = any_of(middle_pool)
+    if shape == 1:
+        return concat(first, star(middle), last)
+    return concat(first, plus(middle), last)
+
+
+def random_extended_automaton(
+    rng: random.Random,
+    k: int = 2,
+    n_states: int = 3,
+    n_transitions: int = 5,
+    n_constraints: int = 2,
+    equality_fraction: float = 0.5,
+    signature: Signature = None,
+) -> ExtendedAutomaton:
+    """A random extended automaton with planted global constraints."""
+    automaton = random_register_automaton(
+        rng, k=k, n_states=n_states, n_transitions=n_transitions, signature=signature
+    )
+    states = sorted(automaton.states)
+    constraints = []
+    for _ in range(n_constraints):
+        kind = "eq" if rng.random() < equality_fraction else "neq"
+        constraints.append(
+            GlobalConstraint(
+                kind,
+                rng.randrange(1, k + 1),
+                rng.randrange(1, k + 1),
+                random_constraint_regex(rng, states),
+            )
+        )
+    return ExtendedAutomaton(automaton, constraints)
+
+
+def random_database(
+    rng: random.Random,
+    signature: Signature,
+    domain_size: int = 6,
+    facts_per_relation: int = 5,
+) -> Database:
+    """A random database over *signature* with a small value domain."""
+    domain = ["d%d" % index for index in range(domain_size)]
+    relations: Dict[str, List[Tuple]] = {}
+    for relation, arity in sorted(signature.relations.items()):
+        rows = set()
+        for _ in range(facts_per_relation):
+            rows.add(tuple(rng.choice(domain) for _ in range(arity)))
+        relations[relation] = sorted(rows)
+    constants = {name: rng.choice(domain) for name in signature.constants}
+    return Database(signature, relations=relations, constants=constants)

@@ -1,0 +1,135 @@
+"""Atoms and literals over a relational signature (Section 2).
+
+An *atom* is either an equality ``s = t`` between terms or a relational atom
+``R(t1, .., tm)``.  A *literal* is an atom or its negation.  Literals are the
+conjuncts of sigma-types (:class:`repro.logic.types.SigmaType`).
+"""
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple, Union
+
+from repro.logic.terms import Term
+
+
+@dataclass(frozen=True)
+class EqAtom:
+    """The equality atom ``left = right``.
+
+    Stored in a canonical order (``left <= right`` lexicographically) so that
+    ``x1 = y1`` and ``y1 = x1`` are the same atom.
+    """
+
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.right < self.left:
+            left, right = self.left, self.right
+            object.__setattr__(self, "left", right)
+            object.__setattr__(self, "right", left)
+
+    @property
+    def terms(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def sort_key(self) -> Tuple:
+        return (0, "", self.left.sort_key(), self.right.sort_key())
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, (EqAtom, RelAtom)):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:
+        return "%r = %r" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class RelAtom:
+    """The relational atom ``relation(args)``."""
+
+    relation: str
+    args: Tuple[Term, ...]
+
+    @property
+    def terms(self) -> Tuple[Term, ...]:
+        return self.args
+
+    def sort_key(self) -> Tuple:
+        return (1, self.relation, tuple(t.sort_key() for t in self.args))
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, (EqAtom, RelAtom)):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (self.relation, ", ".join(repr(t) for t in self.args))
+
+
+Atom = Union[EqAtom, RelAtom]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An atom with a polarity: positive (the atom) or negative (its negation)."""
+
+    atom: Atom
+    positive: bool = True
+
+    @property
+    def terms(self) -> Tuple[Term, ...]:
+        return self.atom.terms
+
+    def sort_key(self) -> Tuple:
+        return (self.atom.sort_key(), not self.positive)
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def negate(self) -> "Literal":
+        """The literal with opposite polarity."""
+        return Literal(self.atom, not self.positive)
+
+    def is_equality(self) -> bool:
+        return isinstance(self.atom, EqAtom)
+
+    def is_relational(self) -> bool:
+        return isinstance(self.atom, RelAtom)
+
+    def __repr__(self) -> str:
+        if self.positive:
+            return repr(self.atom)
+        if isinstance(self.atom, EqAtom):
+            return "%r != %r" % (self.atom.left, self.atom.right)
+        return "not %r" % (self.atom,)
+
+
+def eq(left: Term, right: Term) -> Literal:
+    """The literal ``left = right``."""
+    return Literal(EqAtom(left, right), True)
+
+
+def neq(left: Term, right: Term) -> Literal:
+    """The literal ``left != right``."""
+    return Literal(EqAtom(left, right), False)
+
+
+def rel(relation: str, *args: Term) -> Literal:
+    """The positive relational literal ``relation(args)``."""
+    return Literal(RelAtom(relation, tuple(args)), True)
+
+
+def nrel(relation: str, *args: Term) -> Literal:
+    """The negative relational literal ``not relation(args)``."""
+    return Literal(RelAtom(relation, tuple(args)), False)
+
+
+def terms_of(literals: Iterable[Literal]) -> FrozenSet[Term]:
+    """All terms occurring in *literals*."""
+    found = set()
+    for literal in literals:
+        found.update(literal.terms)
+    return frozenset(found)

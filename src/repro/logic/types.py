@@ -1,0 +1,390 @@
+"""Sigma-types: the transition guards of register automata (Section 2).
+
+A *type* is a satisfiable conjunction of literals over a relational
+signature, here represented by :class:`SigmaType`.  Types are immutable;
+every construction checks satisfiability and raises
+:class:`~repro.foundations.errors.InconsistentTypeError` otherwise, matching
+the paper's requirement that types be satisfiable.
+
+The module also implements the two pieces of type algebra the paper relies
+on throughout:
+
+* **restriction** ``delta | z`` -- the conjunction of the literals of
+  ``delta`` using only variables from ``z`` (and constants),
+* **completion** -- enumeration of the *complete* types extending a type,
+  which settle every equality between variables (and variable/constant
+  pairs) and every relational fact over the available terms.  The paper
+  warns this is exponential; :meth:`SigmaType.completions` is a lazy
+  generator so callers pay only for what they consume.
+
+Finally :func:`agree` implements condition (iii) of symbolic control traces:
+two consecutive types agree on the common registers when
+``delta_n | y`` equals ``delta_{n+1} | x`` under the renaming ``y_i -> x_i``.
+"""
+
+from functools import cached_property
+from itertools import product as cartesian_product
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.foundations.errors import InconsistentTypeError
+from repro.logic.closure import EqualityClosure
+from repro.logic.literals import Atom, EqAtom, Literal, RelAtom
+from repro.logic.terms import Const, Term, Var, X, Y, register_index
+
+
+def _substitute_term(term: Term, mapping: Dict[Term, Term]) -> Term:
+    return mapping.get(term, term)
+
+
+def _substitute_literal(literal: Literal, mapping: Dict[Term, Term]) -> Literal:
+    atom = literal.atom
+    if isinstance(atom, EqAtom):
+        new_atom: Atom = EqAtom(
+            _substitute_term(atom.left, mapping), _substitute_term(atom.right, mapping)
+        )
+    else:
+        new_atom = RelAtom(atom.relation, tuple(_substitute_term(t, mapping) for t in atom.args))
+    return Literal(new_atom, literal.positive)
+
+
+class SigmaType:
+    """A satisfiable conjunction of literals (a "type" in the paper).
+
+    Parameters
+    ----------
+    literals:
+        The conjuncts.  Duplicates are removed; trivial literals ``t = t``
+        are dropped.
+    check:
+        When ``True`` (the default), satisfiability is verified and an
+        :class:`InconsistentTypeError` raised on failure.
+
+    Examples
+    --------
+    The type ``delta_1`` of the paper's Example 1 (``x1 = x2 and x2 = y2``):
+
+    >>> from repro.logic import X, Y, eq
+    >>> delta1 = SigmaType([eq(X(1), X(2)), eq(X(2), Y(2))])
+    >>> delta1.entails(eq(X(1), Y(2)))
+    True
+    """
+
+    __slots__ = ("_literals", "__dict__")
+
+    def __init__(self, literals: Iterable[Literal] = (), check: bool = True):
+        cleaned: Set[Literal] = set()
+        for literal in literals:
+            atom = literal.atom
+            if isinstance(atom, EqAtom) and atom.left == atom.right:
+                if literal.positive:
+                    continue
+                raise InconsistentTypeError("literal %r is trivially false" % (literal,))
+            cleaned.add(literal)
+        self._literals: FrozenSet[Literal] = frozenset(cleaned)
+        if check and not self.closure.is_consistent():
+            raise InconsistentTypeError(
+                "unsatisfiable type: %s" % ", ".join(sorted(repr(l) for l in cleaned))
+            )
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def literals(self) -> FrozenSet[Literal]:
+        return self._literals
+
+    @cached_property
+    def closure(self) -> EqualityClosure:
+        """The equality closure of the literals (cached)."""
+        return EqualityClosure(self._literals)
+
+    @cached_property
+    def terms(self) -> FrozenSet[Term]:
+        found: Set[Term] = set()
+        for literal in self._literals:
+            found.update(literal.terms)
+        return frozenset(found)
+
+    @cached_property
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset(t for t in self.terms if isinstance(t, Var))
+
+    @cached_property
+    def constants(self) -> FrozenSet[Const]:
+        return frozenset(t for t in self.terms if isinstance(t, Const))
+
+    def equality_literals(self) -> List[Literal]:
+        return sorted(l for l in self._literals if l.is_equality())
+
+    def relational_literals(self) -> List[Literal]:
+        return sorted(l for l in self._literals if l.is_relational())
+
+    def is_equality_type(self) -> bool:
+        """Whether the type mentions no relation symbols (Section 2)."""
+        return not any(l.is_relational() for l in self._literals)
+
+    # ------------------------------------------------------------------ #
+    # logical queries
+    # ------------------------------------------------------------------ #
+
+    def is_satisfiable(self) -> bool:
+        return self.closure.is_consistent()
+
+    def entails(self, literal: Literal) -> bool:
+        """Whether every model of this type satisfies *literal*."""
+        atom = literal.atom
+        if isinstance(atom, EqAtom) and atom.left == atom.right:
+            return literal.positive
+        return self.closure.entails_literal(literal)
+
+    def consistent_with(self, literal: Literal) -> bool:
+        """Whether the type plus *literal* is still satisfiable."""
+        return EqualityClosure(list(self._literals) + [literal]).is_consistent()
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+
+    def conjoin(self, other: "SigmaType") -> "SigmaType":
+        """The conjunction of two types (raises if unsatisfiable)."""
+        return SigmaType(self._literals | other._literals)
+
+    def with_literals(self, extra: Iterable[Literal]) -> "SigmaType":
+        """This type extended with *extra* literals (raises if unsatisfiable)."""
+        return SigmaType(list(self._literals) + list(extra))
+
+    def restrict(self, allowed: Iterable[Term]) -> "SigmaType":
+        """The restriction ``delta | allowed``.
+
+        Keeps exactly the literals all of whose *variables* belong to
+        *allowed*; constants are always allowed, as in the paper's
+        ``delta |_{z}`` notation.
+        """
+        allowed_set = set(allowed)
+        kept = [
+            literal
+            for literal in self._literals
+            if all(t in allowed_set or isinstance(t, Const) for t in literal.terms)
+        ]
+        return SigmaType(kept, check=False)
+
+    def rename(self, mapping: Dict[Term, Term]) -> "SigmaType":
+        """Apply a term substitution (used for the ``y -> x`` shift)."""
+        return SigmaType(
+            (_substitute_literal(l, mapping) for l in self._literals), check=False
+        )
+
+    def x_part(self, k: int) -> "SigmaType":
+        """``pi_1(delta)``: the restriction to the x-variables (Theorem 9)."""
+        return self.restrict(X(i) for i in range(1, k + 1))
+
+    def y_part(self, k: int) -> "SigmaType":
+        """The restriction to the y-variables."""
+        return self.restrict(Y(i) for i in range(1, k + 1))
+
+    def shift_y_to_x(self, k: int) -> "SigmaType":
+        """``delta | y`` rewritten over the x-variables (for agreement checks)."""
+        return self.y_part(k).rename({Y(i): X(i) for i in range(1, k + 1)})
+
+    # ------------------------------------------------------------------ #
+    # completeness and completion
+    # ------------------------------------------------------------------ #
+
+    def _completion_obligations(
+        self, relations: Dict[str, int], variables: Sequence[Var], constants: Sequence[Const]
+    ) -> List[Atom]:
+        """All atoms a complete type must settle, in deterministic order."""
+        obligations: List[Atom] = []
+        for left_index, left in enumerate(variables):
+            for right in list(variables[left_index + 1 :]) + list(constants):
+                obligations.append(EqAtom(left, right))
+        terms: List[Term] = list(variables) + list(constants)
+        for relation in sorted(relations):
+            arity = relations[relation]
+            for combo in cartesian_product(terms, repeat=arity):
+                obligations.append(RelAtom(relation, combo))
+        return obligations
+
+    def is_complete(
+        self,
+        relations: Dict[str, int],
+        variables: Sequence[Var],
+        constants: Sequence[Const] = (),
+    ) -> bool:
+        """Whether the type is complete over the given vocabulary.
+
+        Complete means (Section 2): every relational fact over the terms is
+        settled, and every variable/variable and variable/constant equality
+        is settled.  Settled is understood modulo entailment, so that e.g.
+        ``x1 = x2, x2 = x3`` settles ``x1 = x3``.
+        """
+        for atom in self._completion_obligations(relations, variables, constants):
+            positive = Literal(atom, True)
+            if not self.entails(positive) and not self.entails(positive.negate()):
+                return False
+        return True
+
+    def completions(
+        self,
+        relations: Dict[str, int],
+        variables: Sequence[Var],
+        constants: Sequence[Const] = (),
+    ) -> Iterator["SigmaType"]:
+        """Lazily enumerate the complete types extending this one.
+
+        This is the exponential blow-up the paper mentions; the enumeration
+        is a backtracking search that settles one undecided atom at a time
+        and prunes inconsistent branches via the equality closure.
+        """
+        obligations = self._completion_obligations(relations, variables, constants)
+
+        def extend(current: SigmaType, index: int) -> Iterator[SigmaType]:
+            while index < len(obligations):
+                positive = Literal(obligations[index], True)
+                if current.entails(positive) or current.entails(positive.negate()):
+                    index += 1
+                    continue
+                for choice in (positive, positive.negate()):
+                    try:
+                        candidate = current.with_literals([choice])
+                    except InconsistentTypeError:
+                        continue
+                    yield from extend(candidate, index + 1)
+                return
+            yield current
+
+        yield from extend(self, 0)
+
+    # ------------------------------------------------------------------ #
+    # canonical form, equality, display
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def canonical_literals(self) -> Tuple[Literal, ...]:
+        """Sorted literal tuple: the canonical syntactic form."""
+        return tuple(sorted(self._literals))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SigmaType):
+            return NotImplemented
+        return self._literals == other._literals
+
+    def __hash__(self) -> int:
+        return hash(self._literals)
+
+    def __repr__(self) -> str:
+        if not self._literals:
+            return "SigmaType(true)"
+        return "SigmaType(%s)" % " and ".join(repr(l) for l in self.canonical_literals)
+
+    def pretty(self) -> str:
+        """A compact single-line rendering, ``true`` for the empty type."""
+        if not self._literals:
+            return "true"
+        return " & ".join(repr(l) for l in self.canonical_literals)
+
+
+def equality_type(*literals: Literal) -> SigmaType:
+    """Build an equality type (convenience wrapper; validates purity).
+
+    >>> from repro.logic import X, Y, eq
+    >>> equality_type(eq(X(1), Y(1))).is_equality_type()
+    True
+    """
+    built = SigmaType(literals)
+    if not built.is_equality_type():
+        raise InconsistentTypeError("equality types may not contain relational literals")
+    return built
+
+
+def agree(delta_now: SigmaType, delta_next: SigmaType, k: int) -> bool:
+    """Condition (iii) of symbolic control traces (Section 2).
+
+    ``delta_now`` and ``delta_next`` *agree on the common registers* when
+    ``delta_now | y`` is isomorphic to ``delta_next | x`` under ``y_i ->
+    x_i``.  The restriction is semantic: we compare what each type *entails*
+    about the boundary -- every (dis)equality between the shared registers
+    and constants, and every relational fact over them.  (Purely syntactic
+    restriction would be wrong for types that settle a boundary atom only
+    through entailment, e.g. ``y1 = y2`` via ``x1 = x2, x1 = y1, x2 = y2``.)
+    For complete types this decides agreement exactly.
+    """
+    boundary_now: List[Term] = [Y(i) for i in range(1, k + 1)]
+    boundary_next: List[Term] = [X(i) for i in range(1, k + 1)]
+    constants = sorted(delta_now.constants | delta_next.constants)
+
+    def atoms(boundary: Sequence[Term], relations: Dict[str, int]):
+        terms = list(boundary) + list(constants)
+        for a_index in range(len(terms)):
+            for b_index in range(a_index + 1, len(terms)):
+                yield EqAtom(terms[a_index], terms[b_index])
+        for relation in sorted(relations):
+            for combo in cartesian_product(terms, repeat=relations[relation]):
+                yield RelAtom(relation, combo)
+
+    relations: Dict[str, int] = {}
+    for delta in (delta_now, delta_next):
+        for literal in delta.literals:
+            atom = literal.atom
+            if isinstance(atom, RelAtom):
+                relations[atom.relation] = len(atom.args)
+
+    for atom_now, atom_next in zip(
+        atoms(boundary_now, relations), atoms(boundary_next, relations)
+    ):
+        # Disagreement means *conflict*: one side entails the atom, the
+        # other its negation.  (For complete types every boundary atom is
+        # settled on both sides, so this coincides with the paper's
+        # isomorphism of restrictions; for partially settled types --
+        # e.g. equality-complete guards with open relational atoms -- the
+        # run merely has to satisfy the union of both constraints, which
+        # is possible exactly when no atom is settled oppositely.)
+        pos_now = delta_now.entails(Literal(atom_now, True))
+        neg_now = delta_now.entails(Literal(atom_now, False))
+        pos_next = delta_next.entails(Literal(atom_next, True))
+        neg_next = delta_next.entails(Literal(atom_next, False))
+        if (pos_now and neg_next) or (neg_now and pos_next):
+            return False
+    return True
+
+
+def project_type(delta: SigmaType, m: int, k: int) -> SigmaType:
+    """``delta | m``: restriction of a transition type to registers ``1..m``.
+
+    Used by the projection constructions (Theorem 13 / Theorem 24): keeps
+    the literals that only mention ``x1..xm``, ``y1..ym`` and constants.
+    """
+    allowed: List[Term] = [X(i) for i in range(1, m + 1)] + [Y(i) for i in range(1, m + 1)]
+    return delta.restrict(allowed)
+
+
+def project_type_dataless(delta: SigmaType, m: int) -> SigmaType:
+    """Restriction to registers ``1..m`` *and* to pure equality literals.
+
+    Used by Theorem 24, where the projected automaton has no database: the
+    result keeps only (dis)equality literals among ``x1..xm, y1..ym``,
+    dropping relational literals and anything mentioning constants or
+    hidden registers.
+    """
+    allowed: Set[Term] = set()
+    for i in range(1, m + 1):
+        allowed.add(X(i))
+        allowed.add(Y(i))
+    kept = [
+        literal
+        for literal in delta.literals
+        if literal.is_equality() and all(t in allowed for t in literal.terms)
+    ]
+    return SigmaType(kept, check=False)
+
+
+def type_uses_only_registers(delta: SigmaType, k: int) -> bool:
+    """Check that every variable of *delta* is ``x_i``/``y_i`` with i <= k."""
+    for variable in delta.variables:
+        decomposed = register_index(variable)
+        if decomposed is None:
+            return False
+        if decomposed[1] > k:
+            return False
+    return True

@@ -1,0 +1,47 @@
+"""Linear-time temporal logic and its FO extension (Section 3, Definition 11).
+
+* :mod:`repro.ltl.syntax` -- the LTL AST (G, F, X, U, R and booleans) and
+  negation normal form,
+* :mod:`repro.ltl.translation` -- the classical declarative tableau
+  translation LTL -> generalized Buchi -> Buchi,
+* :mod:`repro.ltl.ltlfo` -- LTL-FO sentences: LTL skeletons whose
+  propositions are quantifier-free FO formulas over the register variables
+  ``x``, ``y`` and universally quantified global variables ``z``.
+"""
+
+from repro.ltl.ltlfo import LtlFoSentence, evaluate_formula_under_type
+from repro.ltl.syntax import (
+    And_,
+    Eventually,
+    FalseLtl,
+    Globally,
+    LtlFormula,
+    Next,
+    Not_,
+    Or_,
+    Prop,
+    Release,
+    TrueLtl,
+    Until,
+    nnf,
+)
+from repro.ltl.translation import ltl_to_buchi
+
+__all__ = [
+    "LtlFormula",
+    "Prop",
+    "TrueLtl",
+    "FalseLtl",
+    "Not_",
+    "And_",
+    "Or_",
+    "Next",
+    "Until",
+    "Release",
+    "Eventually",
+    "Globally",
+    "nnf",
+    "ltl_to_buchi",
+    "LtlFoSentence",
+    "evaluate_formula_under_type",
+]

@@ -1,0 +1,129 @@
+"""LTL-FO: temporal properties of runs (Definition 11).
+
+An LTL-FO sentence is ``forall z . phi_f`` where ``phi`` is an LTL skeleton
+over propositions ``P`` and ``f`` maps each proposition to a quantifier-free
+FO formula over the register variables ``x1..xk`` (current position),
+``y1..yk`` (next position) and the global variables ``z``.
+
+Two evaluation modes are provided:
+
+* **concrete** -- against a run prefix and a database
+  (:meth:`LtlFoSentence.holds_on_prefix` is in
+  :mod:`repro.core.verification`, which owns run objects);
+* **symbolic** -- against a *complete* control trace: a complete type
+  settles every atom over ``x``, ``y`` and the constants, so each
+  proposition's truth at a position is determined
+  (:func:`evaluate_formula_under_type`).  This is the observation the paper
+  uses to reduce Theorem 12 to omega-automata emptiness.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+from repro.foundations.errors import EvaluationError, SpecificationError
+from repro.logic.formulas import And, AtomFormula, FalseFormula, Formula, Not, Or, TrueFormula
+from repro.logic.literals import Literal
+from repro.logic.terms import Var, register_index
+from repro.logic.types import SigmaType
+from repro.ltl.syntax import LtlFormula
+
+
+@dataclass(frozen=True)
+class LtlFoSentence:
+    """``forall z . phi_f``: an LTL skeleton plus its proposition mapping.
+
+    Parameters
+    ----------
+    skeleton:
+        The LTL formula over abstract propositions.
+    propositions:
+        Mapping from proposition name to its quantifier-free FO definition.
+    global_vars:
+        The universally quantified global variables ``z`` (may be empty).
+
+    Examples
+    --------
+    "Whenever register 1 equals register 2, eventually register 1 is z":
+
+    >>> from repro.ltl import Globally, Eventually, Prop
+    >>> from repro.logic.formulas import atom_eq
+    >>> from repro.logic.terms import X, Var
+    >>> sentence = LtlFoSentence(
+    ...     skeleton=Globally(Prop("eq12")),
+    ...     propositions={"eq12": atom_eq(X(1), X(2))},
+    ... )
+    """
+
+    skeleton: LtlFormula
+    propositions: Dict[str, Formula] = field(default_factory=dict)
+    global_vars: Tuple[Var, ...] = ()
+
+    def __post_init__(self) -> None:
+        used = self.skeleton.propositions()
+        missing = used - set(self.propositions)
+        if missing:
+            raise SpecificationError(
+                "propositions without an FO definition: %s" % sorted(missing)
+            )
+        for name, formula in self.propositions.items():
+            for term in formula.free_terms():
+                if not isinstance(term, Var):
+                    continue
+                if register_index(term) is None and term not in self.global_vars:
+                    raise SpecificationError(
+                        "proposition %r uses variable %r which is neither a "
+                        "register variable nor a declared global" % (name, term)
+                    )
+
+    def proposition_names(self) -> FrozenSet[str]:
+        return frozenset(self.propositions)
+
+    def has_globals(self) -> bool:
+        return bool(self.global_vars)
+
+
+def evaluate_formula_under_type(formula: Formula, delta: SigmaType) -> bool:
+    """Truth of a quantifier-free formula under a *complete* type.
+
+    In a complete control trace, the type at each position settles every
+    atom over ``x``, ``y`` and the constants; this evaluates an arbitrary
+    boolean combination under that settled valuation.  Raises
+    :class:`EvaluationError` when the type leaves some atom open (i.e. the
+    type is not complete enough for the formula).
+    """
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, AtomFormula):
+        positive = Literal(formula.atom, True)
+        if delta.entails(positive):
+            return True
+        if delta.entails(positive.negate()):
+            return False
+        raise EvaluationError(
+            "atom %r is not settled by the type %s (type not complete?)"
+            % (formula.atom, delta.pretty())
+        )
+    if isinstance(formula, Not):
+        return not evaluate_formula_under_type(formula.operand, delta)
+    if isinstance(formula, And):
+        return all(evaluate_formula_under_type(op, delta) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(evaluate_formula_under_type(op, delta) for op in formula.operands)
+    raise EvaluationError("unknown formula kind %r" % (formula,))
+
+
+def proposition_assignment(
+    sentence: LtlFoSentence, delta: SigmaType
+) -> FrozenSet[str]:
+    """The truth assignment induced by a complete type at a position.
+
+    Returns the set of proposition names whose FO definition is entailed by
+    *delta* -- the letter the control trace feeds to the property automaton.
+    """
+    return frozenset(
+        name
+        for name, formula in sentence.propositions.items()
+        if evaluate_formula_under_type(formula, delta)
+    )

@@ -1,0 +1,310 @@
+"""LTL syntax and negation normal form.
+
+The operators are those of the paper's Section 3: ``G`` (always), ``F``
+(eventually), ``X`` (next) and ``U`` (until), plus the boolean connectives.
+``R`` (release) is included because negation normal form requires the dual
+of until.  ``F`` and ``G`` are kept as first-class nodes for readability and
+expanded during NNF conversion (``F p = true U p``, ``G p = false R p``).
+"""
+
+from dataclasses import dataclass
+from typing import FrozenSet, Set, Tuple
+
+
+class LtlFormula:
+    """Base class of LTL formulas."""
+
+    def propositions(self) -> FrozenSet[str]:
+        """Names of the atomic propositions occurring in the formula."""
+        raise NotImplementedError
+
+    def __and__(self, other: "LtlFormula") -> "LtlFormula":
+        return And_(self, other)
+
+    def __or__(self, other: "LtlFormula") -> "LtlFormula":
+        return Or_(self, other)
+
+    def __invert__(self) -> "LtlFormula":
+        return Not_(self)
+
+
+@dataclass(frozen=True)
+class TrueLtl(LtlFormula):
+    def propositions(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseLtl(LtlFormula):
+    def propositions(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Prop(LtlFormula):
+    """An atomic proposition, identified by name."""
+
+    name: str
+
+    def propositions(self) -> FrozenSet[str]:
+        return frozenset([self.name])
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not_(LtlFormula):
+    operand: LtlFormula
+
+    def propositions(self) -> FrozenSet[str]:
+        return self.operand.propositions()
+
+    def __repr__(self) -> str:
+        return "!(%r)" % (self.operand,)
+
+
+@dataclass(frozen=True)
+class And_(LtlFormula):
+    left: LtlFormula
+    right: LtlFormula
+
+    def propositions(self) -> FrozenSet[str]:
+        return self.left.propositions() | self.right.propositions()
+
+    def __repr__(self) -> str:
+        return "(%r and %r)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Or_(LtlFormula):
+    left: LtlFormula
+    right: LtlFormula
+
+    def propositions(self) -> FrozenSet[str]:
+        return self.left.propositions() | self.right.propositions()
+
+    def __repr__(self) -> str:
+        return "(%r or %r)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Next(LtlFormula):
+    operand: LtlFormula
+
+    def propositions(self) -> FrozenSet[str]:
+        return self.operand.propositions()
+
+    def __repr__(self) -> str:
+        return "X(%r)" % (self.operand,)
+
+
+@dataclass(frozen=True)
+class Until(LtlFormula):
+    left: LtlFormula
+    right: LtlFormula
+
+    def propositions(self) -> FrozenSet[str]:
+        return self.left.propositions() | self.right.propositions()
+
+    def __repr__(self) -> str:
+        return "(%r U %r)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Release(LtlFormula):
+    left: LtlFormula
+    right: LtlFormula
+
+    def propositions(self) -> FrozenSet[str]:
+        return self.left.propositions() | self.right.propositions()
+
+    def __repr__(self) -> str:
+        return "(%r R %r)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Eventually(LtlFormula):
+    """``F p``: p holds at some future position (including now)."""
+
+    operand: LtlFormula
+
+    def propositions(self) -> FrozenSet[str]:
+        return self.operand.propositions()
+
+    def __repr__(self) -> str:
+        return "F(%r)" % (self.operand,)
+
+
+@dataclass(frozen=True)
+class Globally(LtlFormula):
+    """``G p``: p holds at every position from now on."""
+
+    operand: LtlFormula
+
+    def propositions(self) -> FrozenSet[str]:
+        return self.operand.propositions()
+
+    def __repr__(self) -> str:
+        return "G(%r)" % (self.operand,)
+
+
+def nnf(formula: LtlFormula, negated: bool = False) -> LtlFormula:
+    """Negation normal form: negations pushed to the propositions.
+
+    ``F``/``G`` are expanded into until/release; the result uses only
+    ``Prop``, negated ``Prop``, ``TrueLtl``, ``FalseLtl``, ``And_``, ``Or_``,
+    ``Next``, ``Until`` and ``Release``.
+
+    >>> nnf(Not_(Globally(Prop("p"))))
+    (true U !(p))
+    """
+    if isinstance(formula, TrueLtl):
+        return FalseLtl() if negated else TrueLtl()
+    if isinstance(formula, FalseLtl):
+        return TrueLtl() if negated else FalseLtl()
+    if isinstance(formula, Prop):
+        return Not_(formula) if negated else formula
+    if isinstance(formula, Not_):
+        return nnf(formula.operand, not negated)
+    if isinstance(formula, And_):
+        left, right = nnf(formula.left, negated), nnf(formula.right, negated)
+        return Or_(left, right) if negated else And_(left, right)
+    if isinstance(formula, Or_):
+        left, right = nnf(formula.left, negated), nnf(formula.right, negated)
+        return And_(left, right) if negated else Or_(left, right)
+    if isinstance(formula, Next):
+        return Next(nnf(formula.operand, negated))
+    if isinstance(formula, Until):
+        left, right = nnf(formula.left, negated), nnf(formula.right, negated)
+        return Release(left, right) if negated else Until(left, right)
+    if isinstance(formula, Release):
+        left, right = nnf(formula.left, negated), nnf(formula.right, negated)
+        return Until(left, right) if negated else Release(left, right)
+    if isinstance(formula, Eventually):
+        inner = nnf(formula.operand, negated)
+        if negated:
+            return Release(FalseLtl(), inner)  # not F p == G not p
+        return Until(TrueLtl(), inner)
+    if isinstance(formula, Globally):
+        inner = nnf(formula.operand, negated)
+        if negated:
+            return Until(TrueLtl(), inner)  # not G p == F not p
+        return Release(FalseLtl(), inner)
+    raise TypeError("unknown LTL node %r" % (formula,))
+
+
+def subformulas(formula: LtlFormula) -> Set[LtlFormula]:
+    """All subformulas of an NNF formula (the tableau closure)."""
+    found: Set[LtlFormula] = set()
+
+    def walk(node: LtlFormula) -> None:
+        if node in found:
+            return
+        found.add(node)
+        for attr in ("operand", "left", "right"):
+            child = getattr(node, attr, None)
+            if isinstance(child, LtlFormula):
+                walk(child)
+
+    walk(formula)
+    return found
+
+
+def satisfies(word_assignments, formula: LtlFormula) -> bool:
+    """Semantic check of an LTL formula on an ultimately periodic word.
+
+    *word_assignments* is a :class:`~repro.automata.words.Lasso` whose
+    letters are frozensets of proposition names (the positions' truth
+    assignments).  Used by tests as a ground-truth oracle against the
+    automaton translation.
+
+    The evaluation is a bottom-up dynamic program over the lasso's canonical
+    positions (prefix plus one period).  Until is the least fixpoint of its
+    expansion law and release the greatest, so on the periodic part we
+    iterate the expansion from all-false (until) / all-true (release) until
+    stabilisation; at most ``period`` iterations are needed.
+    """
+    from repro.automata.words import Lasso
+
+    if not isinstance(word_assignments, Lasso):
+        raise TypeError("expected a Lasso of frozenset letters")
+    formula = nnf(formula)
+    spine = word_assignments.spine_length()
+    period = len(word_assignments.period)
+    loop_start = spine - period
+
+    def successor(position: int) -> int:
+        nxt = position + 1
+        return loop_start if nxt == spine else nxt
+
+    positions = range(spine)
+    truth = {}  # (position, subformula) -> bool
+
+    def value(position: int, node: LtlFormula) -> bool:
+        return truth[(position, node)]
+
+    def order(node: LtlFormula, acc):
+        for attr in ("operand", "left", "right"):
+            child = getattr(node, attr, None)
+            if isinstance(child, LtlFormula):
+                order(child, acc)
+        if node not in acc:
+            acc.append(node)
+
+    ordered = []
+    order(formula, ordered)
+    for node in ordered:
+        if isinstance(node, TrueLtl):
+            for p in positions:
+                truth[(p, node)] = True
+        elif isinstance(node, FalseLtl):
+            for p in positions:
+                truth[(p, node)] = False
+        elif isinstance(node, Prop):
+            for p in positions:
+                truth[(p, node)] = node.name in word_assignments[p]
+        elif isinstance(node, Not_):
+            for p in positions:
+                truth[(p, node)] = node.operand.name not in word_assignments[p]
+        elif isinstance(node, And_):
+            for p in positions:
+                truth[(p, node)] = value(p, node.left) and value(p, node.right)
+        elif isinstance(node, Or_):
+            for p in positions:
+                truth[(p, node)] = value(p, node.left) or value(p, node.right)
+        elif isinstance(node, Next):
+            for p in positions:
+                truth[(p, node)] = value(successor(p), node.operand)
+        elif isinstance(node, (Until, Release)):
+            start_value = isinstance(node, Release)
+            for p in positions:
+                truth[(p, node)] = start_value
+            # Iterate the expansion to the fixpoint (backwards through the
+            # prefix converges in one pass; the loop needs <= period passes).
+            for _ in range(period + 1):
+                changed = False
+                for p in reversed(range(spine)):
+                    nxt = successor(p)
+                    if isinstance(node, Until):
+                        new = value(p, node.right) or (
+                            value(p, node.left) and value(nxt, node)
+                        )
+                    else:
+                        new = value(p, node.right) and (
+                            value(p, node.left) or value(nxt, node)
+                        )
+                    if new != truth[(p, node)]:
+                        truth[(p, node)] = new
+                        changed = True
+                if not changed:
+                    break
+        else:
+            raise TypeError("unknown NNF node %r" % (node,))
+    return truth[(0, formula)]

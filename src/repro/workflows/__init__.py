@@ -1,0 +1,28 @@
+"""Data-driven workflows and their role views (the paper's Section 1).
+
+The introduction motivates projection views with database-driven workflows:
+a record of named attributes evolves under transition rules that may query
+an underlying database, and different user roles see only a subset of the
+attributes.  This package provides the declarative layer:
+
+* :mod:`repro.workflows.spec` -- :class:`WorkflowSpec`: attributes, stages
+  and rules, compiled to a :class:`~repro.core.RegisterAutomaton`;
+* :mod:`repro.workflows.views` -- role views: hide attributes (Theorem 13)
+  or attributes plus the whole database (Theorem 24);
+* :mod:`repro.workflows.review` -- the manuscript-review workflow from the
+  paper's introduction, ready to run.
+"""
+
+from repro.workflows.spec import Stage, TransitionRule, WorkflowSpec
+from repro.workflows.views import RoleView, database_hidden_view, role_view
+from repro.workflows.review import manuscript_review_workflow
+
+__all__ = [
+    "WorkflowSpec",
+    "Stage",
+    "TransitionRule",
+    "RoleView",
+    "role_view",
+    "database_hidden_view",
+    "manuscript_review_workflow",
+]

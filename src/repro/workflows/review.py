@@ -1,0 +1,78 @@
+"""The manuscript-review workflow from the paper's introduction.
+
+"The treatment of each paper might be modeled by a set of values that
+evolve throughout the workflow, identified by attributes such as paper-id,
+author, topic, paper-state, reviewer, review-state.  There might also be an
+underlying database, with one relation holding the topic of each paper and
+another the topics that each reviewer prefers to review." (Section 1)
+
+:func:`manuscript_review_workflow` builds exactly this: the database
+relations are ``PaperTopic(paper, topic)`` and ``Prefers(reviewer,
+topic)``; the stages follow submission, reviewer assignment, reviewing
+(with a revision loop) and decision; the decision stage loops forever,
+making runs infinite as in the formal model.
+
+Role views (Section 1 again): authors do not see the reviewer; under
+double-blind reviewing, reviewers do not see the author.  Both are
+projection views obtainable with :func:`repro.workflows.views.role_view` /
+:func:`database_hidden_view`.
+"""
+
+from repro.db.schema import Signature
+from repro.workflows.spec import Stage, WorkflowSpec
+
+#: The stable attribute order of the review workflow.
+REVIEW_ATTRIBUTES = ["paper", "author", "topic", "reviewer"]
+
+
+def manuscript_review_workflow(with_database: bool = True) -> WorkflowSpec:
+    """The paper's manuscript-review workflow.
+
+    With *with_database* (the default) the reviewer assignment consults
+    ``PaperTopic`` and ``Prefers``; without it, the same control skeleton
+    is produced with pure (in)equality rules, suitable for the
+    database-free view constructions of Sections 4-5.
+    """
+    signature = (
+        Signature(relations={"PaperTopic": 2, "Prefers": 2})
+        if with_database
+        else Signature.empty()
+    )
+    spec = WorkflowSpec(
+        attributes=REVIEW_ATTRIBUTES,
+        stages=[
+            Stage("submitted"),
+            Stage("under-review"),
+            Stage("revising"),
+            Stage("decided", recurring=True),
+        ],
+        signature=signature,
+        # Paper ids, authors, topics and reviewers are pairwise distinct
+        # entities; declaring this also keeps the view constructions small
+        # (see WorkflowSpec._distinctness_literals).
+        distinct_attributes=True,
+    )
+
+    assign = spec.rule("submitted", "under-review")
+    assign.keep("paper", "author", "topic")
+    assign.distinct("reviewer'", "author'")  # no self-review
+    if with_database:
+        assign.lookup("PaperTopic", "paper", "topic")
+        assign.lookup("Prefers", "reviewer'", "topic")
+
+    revise = spec.rule("under-review", "revising")
+    revise.keep("paper", "author", "topic", "reviewer")
+
+    resubmit = spec.rule("revising", "under-review")
+    resubmit.keep("paper", "author", "topic")
+    resubmit.distinct("reviewer'", "author'")  # a fresh round may reassign
+    if with_database:
+        resubmit.lookup("Prefers", "reviewer'", "topic")
+
+    decide = spec.rule("under-review", "decided")
+    decide.keep("paper", "author", "topic", "reviewer")
+
+    stay = spec.rule("decided", "decided")
+    stay.keep("paper", "author", "topic", "reviewer")
+
+    return spec

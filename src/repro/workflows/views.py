@@ -1,0 +1,68 @@
+"""Role views of workflows: the paper's projection views, operationalised.
+
+A role sees a subset of the attributes.  :func:`role_view` reorders the
+workflow's attributes so the visible ones form a register prefix and applies
+the Theorem 13 projection (database-free workflows) to obtain an *extended
+automaton* describing exactly the role's view of the runs;
+:func:`database_hidden_view` additionally hides the database (Theorem 24),
+yielding an *enhanced automaton*.
+"""
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.foundations.errors import SpecificationError
+from repro.core.extended import ExtendedAutomaton
+from repro.core.enhanced import EnhancedAutomaton
+from repro.core.projection import project_register_automaton
+from repro.core.theorem24 import project_with_database
+from repro.workflows.spec import WorkflowSpec
+
+
+@dataclass
+class RoleView:
+    """A computed view: the visible attributes and their automaton.
+
+    ``automaton`` is an :class:`ExtendedAutomaton` (database visible /
+    absent) or an :class:`EnhancedAutomaton` (database hidden); its
+    register ``i`` holds ``visible_attributes[i-1]``.
+    """
+
+    role: str
+    visible_attributes: List[str]
+    automaton: object
+
+
+def _split_attributes(spec: WorkflowSpec, hidden: Sequence[str]):
+    hidden_set = set(hidden)
+    unknown = hidden_set - set(spec.attributes)
+    if unknown:
+        raise SpecificationError("unknown attributes to hide: %s" % sorted(unknown))
+    visible = [a for a in spec.attributes if a not in hidden_set]
+    return visible, visible + [a for a in spec.attributes if a in hidden_set]
+
+
+def role_view(spec: WorkflowSpec, role: str, hidden: Sequence[str]) -> RoleView:
+    """The role's view of a database-free workflow (Theorem 13).
+
+    Hides the named attributes; the result's extended automaton has one
+    register per remaining attribute and global constraints transporting
+    whatever (dis)equalities the hidden attributes enforced.
+    """
+    if not spec.signature.is_empty():
+        raise SpecificationError(
+            "role_view projects database-free workflows; use "
+            "database_hidden_view to hide the database as well"
+        )
+    visible, order = _split_attributes(spec, hidden)
+    automaton = spec.reordered(order).compile()
+    view = project_register_automaton(automaton, len(visible))
+    return RoleView(role=role, visible_attributes=visible, automaton=view)
+
+
+def database_hidden_view(spec: WorkflowSpec, role: str, hidden: Sequence[str]) -> RoleView:
+    """The role's view with the database hidden too (Theorem 24)."""
+    visible, order = _split_attributes(spec, hidden)
+    automaton = spec.reordered(order).compile()
+    view = project_with_database(automaton, len(visible))
+    return RoleView(role=role, visible_attributes=visible, automaton=view)

@@ -1,0 +1,163 @@
+"""Shared fixtures: the paper's worked examples as reusable automata."""
+
+import pytest
+
+from repro import (
+    Database,
+    ExtendedAutomaton,
+    GlobalConstraint,
+    RegisterAutomaton,
+    SigmaType,
+    Signature,
+    X,
+    Y,
+    eq,
+    neq,
+    rel,
+    nrel,
+)
+from repro.automata.regex import concat, literal, plus, star
+
+
+@pytest.fixture
+def example1_automaton():
+    """The 2-register automaton of Example 1 (no database)."""
+    d1 = SigmaType([eq(X(1), X(2)), eq(X(2), Y(2))])
+    d2 = SigmaType([eq(X(2), Y(2))])
+    d3 = SigmaType([eq(X(2), Y(2)), eq(Y(1), Y(2))])
+    return RegisterAutomaton(
+        2,
+        Signature.empty(),
+        {"q1", "q2"},
+        {"q1"},
+        {"q1"},
+        [("q1", d1, "q2"), ("q2", d2, "q2"), ("q2", d3, "q1")],
+    )
+
+
+@pytest.fixture
+def example1_guards():
+    d1 = SigmaType([eq(X(1), X(2)), eq(X(2), Y(2))])
+    d2 = SigmaType([eq(X(2), Y(2))])
+    d3 = SigmaType([eq(X(2), Y(2)), eq(Y(1), Y(2))])
+    return d1, d2, d3
+
+
+@pytest.fixture
+def example5_extended():
+    """Example 5: the extended automaton describing Example 4's projection."""
+    empty = SigmaType()
+    base = RegisterAutomaton(
+        1,
+        Signature.empty(),
+        {"p1", "p2"},
+        {"p1"},
+        {"p1"},
+        [("p1", empty, "p2"), ("p2", empty, "p2"), ("p2", empty, "p1")],
+    )
+    expression = concat(literal("p1"), star(literal("p2")), literal("p1"))
+    return ExtendedAutomaton(base, [GlobalConstraint("eq", 1, 1, expression)])
+
+
+@pytest.fixture
+def example7_extended():
+    """Example 7: one register, all values pairwise distinct."""
+    empty = SigmaType()
+    base = RegisterAutomaton(
+        1, Signature.empty(), {"q"}, {"q"}, {"q"}, [("q", empty, "q")]
+    )
+    all_distinct = concat(literal("q"), plus(literal("q")))
+    return ExtendedAutomaton(base, [GlobalConstraint("neq", 1, 1, all_distinct)])
+
+
+@pytest.fixture
+def example8_extended():
+    """Example 8: unary database P; p-blocks must use pairwise distinct values."""
+    signature = Signature(relations={"P": 1})
+    guard = SigmaType([rel("P", X(1))])
+    base = RegisterAutomaton(
+        1,
+        signature,
+        {"p", "q"},
+        {"p"},
+        {"p", "q"},
+        [("p", guard, "p"), ("p", guard, "q"), ("q", guard, "q"), ("q", guard, "p")],
+    )
+    p_block = concat(literal("p"), star(literal("p")), literal("p"))
+    return ExtendedAutomaton(base, [GlobalConstraint("neq", 1, 1, p_block)])
+
+
+@pytest.fixture
+def example8_p_only():
+    """Example 8 restricted to p^omega: empty (the non-regular boundary)."""
+    signature = Signature(relations={"P": 1})
+    guard = SigmaType([rel("P", X(1))])
+    base = RegisterAutomaton(
+        1, signature, {"p"}, {"p"}, {"p"}, [("p", guard, "p")]
+    )
+    p_block = concat(literal("p"), star(literal("p")), literal("p"))
+    return ExtendedAutomaton(base, [GlobalConstraint("neq", 1, 1, p_block)])
+
+
+@pytest.fixture
+def example16_bounded():
+    """Example 16's A: local disequality only -- LR-bounded."""
+    guard = SigmaType([neq(X(1), Y(1))])
+    base = RegisterAutomaton(
+        1, Signature.empty(), {"q"}, {"q"}, {"q"}, [("q", guard, "q")]
+    )
+    return ExtendedAutomaton(base, [])
+
+
+@pytest.fixture
+def example16_unbounded():
+    """Example 16's A': trace-equivalent to A but not LR-bounded."""
+    guard = SigmaType([neq(X(1), Y(1))])
+    base = RegisterAutomaton(
+        1,
+        Signature.empty(),
+        {"p", "q"},
+        {"p", "q"},
+        {"p", "q"},
+        [("p", guard, "p"), ("q", guard, "q")],
+    )
+    p_pairs = concat(literal("p"), plus(literal("p")))
+    return ExtendedAutomaton(base, [GlobalConstraint("neq", 1, 1, p_pairs)])
+
+
+@pytest.fixture
+def example23_automaton():
+    """Example 23: 2 registers, binary E and unary U, alternating E-membership."""
+    signature = Signature(relations={"E": 2, "U": 1})
+    delta = SigmaType([eq(X(2), Y(2)), rel("U", X(1)), rel("E", X(2), X(1))])
+    delta_neg = SigmaType([eq(X(2), Y(2)), rel("U", X(1)), nrel("E", X(2), X(1))])
+    return RegisterAutomaton(
+        2,
+        signature,
+        {"p", "q"},
+        {"p"},
+        {"p"},
+        [("p", delta, "q"), ("q", delta_neg, "p")],
+    )
+
+
+@pytest.fixture
+def example23_database():
+    signature = Signature(relations={"E": 2, "U": 1})
+    return Database(
+        signature,
+        relations={"E": [("c", "d0")], "U": [("d0",), ("d1",)]},
+    )
+
+
+@pytest.fixture
+def empty_database():
+    return Database(Signature.empty())
+
+
+def canonical_trace(rows):
+    """Rename data values by first occurrence (isomorphism-invariant form)."""
+    names = {}
+    return tuple(
+        tuple(names.setdefault(value, len(names)) for value in row) for row in rows
+    )

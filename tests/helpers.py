@@ -1,0 +1,48 @@
+"""Shared helpers for the test suite."""
+
+
+def canonical_trace(rows):
+    """Rename data values by first occurrence (isomorphism-invariant form)."""
+    names = {}
+    return tuple(
+        tuple(names.setdefault(value, len(names)) for value in row) for row in rows
+    )
+
+
+def value_pool_of_size(count):
+    return tuple("v%d" % index for index in range(count))
+
+
+def projection_prefix_sets(automaton, view, m, length, limit=None):
+    """Compare ``Pi_m`` of *automaton*'s prefixes with *view*'s prefixes.
+
+    Returns ``(original, image)`` as sets of canonical traces.  Pool sizes
+    are chosen so both enumerations are complete up to isomorphism: the
+    original side needs up to ``length`` distinct visible values plus fresh
+    values for the hidden registers (``length * hidden`` is a safe bound),
+    the view side up to ``length`` visible values plus slack.
+    """
+    from repro.core.runs import generate_finite_runs
+    from repro.db import Database, Signature
+
+    database = Database(Signature.empty())
+    # Visible values: up to `length` distinct.  Hidden registers never need
+    # more than 2k+1 extra fresh values (the pool-completeness argument in
+    # repro.core.runs): at any point at most k are held, so k+1 spares
+    # always realise a "fresh distinct value" demand.
+    original_pool = value_pool_of_size(length + 2 * automaton.k + 1)
+    image_pool = value_pool_of_size(length + 1)
+    original = {
+        canonical_trace(tuple(row[:m] for row in run.data))
+        for run in generate_finite_runs(
+            automaton, database, length, pool=original_pool, limit=limit
+        )
+    }
+    image = {
+        canonical_trace(run.data)
+        for run in generate_finite_runs(
+            view.automaton, database, length, pool=image_pool, limit=limit
+        )
+        if view.satisfies_constraints(run)
+    }
+    return original, image

@@ -1,0 +1,124 @@
+"""Unit tests for repro.db: schemas, databases, evaluation."""
+
+import pytest
+
+from repro.db import Database, Signature, evaluate_formula, evaluate_type
+from repro.db.evaluation import evaluate_literal, transition_valuation
+from repro.foundations.errors import EvaluationError, SpecificationError
+from repro.logic import SigmaType, X, Y, eq, neq, nrel, rel
+from repro.logic.formulas import And, Not, Or, atom_eq, atom_rel
+from repro.logic.terms import Const
+
+
+@pytest.fixture
+def graph_db():
+    signature = Signature(relations={"E": 2, "U": 1}, constants=("root",))
+    return Database(
+        signature,
+        relations={"E": [("a", "b"), ("b", "c")], "U": [("a",)]},
+        constants={"root": "a"},
+    )
+
+
+class TestSignature:
+    def test_empty(self):
+        assert Signature.empty().is_empty()
+
+    def test_arity_lookup(self, graph_db):
+        assert graph_db.signature.arity("E") == 2
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SpecificationError):
+            Signature().arity("R")
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SpecificationError):
+            Signature(relations={"R": -1})
+
+    def test_duplicate_constants_rejected(self):
+        with pytest.raises(SpecificationError):
+            Signature(constants=("c", "c"))
+
+    def test_extend(self):
+        signature = Signature(relations={"R": 1}).extend({"S": 2}, ["c"])
+        assert signature.arity("S") == 2
+        assert signature.constants == ("c",)
+
+    def test_extend_conflicting_arity_rejected(self):
+        with pytest.raises(SpecificationError):
+            Signature(relations={"R": 1}).extend({"R": 2})
+
+
+class TestDatabase:
+    def test_active_domain(self, graph_db):
+        assert graph_db.active_domain() == frozenset({"a", "b", "c"})
+
+    def test_holds(self, graph_db):
+        assert graph_db.holds("E", ("a", "b"))
+        assert not graph_db.holds("E", ("b", "a"))
+
+    def test_constants_required(self):
+        signature = Signature(constants=("c",))
+        with pytest.raises(SpecificationError):
+            Database(signature)
+
+    def test_wrong_arity_rejected(self):
+        signature = Signature(relations={"E": 2})
+        with pytest.raises(SpecificationError):
+            Database(signature, relations={"E": [("a",)]})
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(SpecificationError):
+            Database(Signature.empty(), relations={"R": [("a",)]})
+
+    def test_with_and_without_facts(self, graph_db):
+        extended = graph_db.with_facts("E", [("c", "a")])
+        assert extended.holds("E", ("c", "a"))
+        shrunk = extended.without_facts("E", [("c", "a")])
+        assert not shrunk.holds("E", ("c", "a"))
+        assert shrunk == graph_db
+
+    def test_rename_values(self, graph_db):
+        renamed = graph_db.rename_values({"a": "z"})
+        assert renamed.holds("E", ("z", "b"))
+        assert renamed.constant_value("root") == "z"
+
+    def test_rename_must_be_injective(self, graph_db):
+        with pytest.raises(SpecificationError):
+            graph_db.rename_values({"a": "b"})
+
+    def test_size(self, graph_db):
+        assert graph_db.size() == 3
+
+
+class TestEvaluation:
+    def test_type_evaluation(self, graph_db):
+        delta = SigmaType([rel("E", X(1), Y(1)), eq(X(2), Y(2))])
+        valuation = transition_valuation(("a", "k"), ("b", "k"))
+        assert evaluate_type(delta, graph_db, valuation)
+
+    def test_negative_literal(self, graph_db):
+        valuation = transition_valuation(("b",), ("a",))
+        assert evaluate_literal(nrel("E", X(1), Y(1)), graph_db, valuation)
+
+    def test_constants_resolve(self, graph_db):
+        delta = SigmaType([eq(X(1), Const("root"))])
+        assert evaluate_type(delta, graph_db, transition_valuation(("a",), ("b",)))
+        assert not evaluate_type(delta, graph_db, transition_valuation(("b",), ("a",)))
+
+    def test_missing_variable_raises(self, graph_db):
+        with pytest.raises(EvaluationError):
+            evaluate_literal(eq(X(1), X(2)), graph_db, {})
+
+    def test_formula_connectives(self, graph_db):
+        formula = Or((atom_rel("U", X(1)), Not(atom_eq(X(1), X(1)))))
+        assert evaluate_formula(formula, graph_db, transition_valuation(("a",), ()))
+        assert not evaluate_formula(
+            formula, graph_db, transition_valuation(("b",), ())
+        )
+
+    def test_transition_valuation_layout(self):
+        valuation = transition_valuation(("u", "v"), ("w",))
+        assert valuation[X(1)] == "u"
+        assert valuation[X(2)] == "v"
+        assert valuation[Y(1)] == "w"

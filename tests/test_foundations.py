@@ -1,0 +1,63 @@
+"""Unit tests for repro.foundations."""
+
+import pytest
+
+from repro.foundations import (
+    EvaluationError,
+    FreshSupply,
+    InconsistentTypeError,
+    ReproError,
+    SpecificationError,
+    is_data_value,
+)
+
+
+class TestFreshSupply:
+    def test_values_are_distinct(self):
+        supply = FreshSupply()
+        values = supply.take_many(100)
+        assert len(set(values)) == 100
+
+    def test_reserved_values_never_produced(self):
+        supply = FreshSupply(used={"fresh0", "fresh2"})
+        produced = supply.take_many(3)
+        assert "fresh0" not in produced
+        assert "fresh2" not in produced
+
+    def test_reserve_after_construction(self):
+        supply = FreshSupply()
+        supply.reserve(["fresh0"])
+        assert supply.take() != "fresh0"
+
+    def test_prefix_is_used(self):
+        supply = FreshSupply(prefix="val")
+        assert supply.take().startswith("val")
+
+    def test_iteration_yields_fresh_values(self):
+        supply = FreshSupply()
+        stream = iter(supply)
+        first, second = next(stream), next(stream)
+        assert first != second
+
+    def test_take_many_zero(self):
+        assert FreshSupply().take_many(0) == []
+
+
+class TestDataValues:
+    def test_hashables_are_data_values(self):
+        assert is_data_value("a")
+        assert is_data_value(3)
+        assert is_data_value(("tuple", 1))
+
+    def test_unhashables_are_not(self):
+        assert not is_data_value([1, 2])
+        assert not is_data_value({"a": 1})
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (SpecificationError, InconsistentTypeError, EvaluationError):
+            assert issubclass(exc, ReproError)
+
+    def test_inconsistent_type_is_specification_error(self):
+        assert issubclass(InconsistentTypeError, SpecificationError)

@@ -1,0 +1,169 @@
+"""Tests for projections (Theorem 13, Lemma 21, Examples 4/5)."""
+
+import pytest
+
+from repro import (
+    Database,
+    ExtendedAutomaton,
+    FiniteRun,
+    GlobalConstraint,
+    RegisterAutomaton,
+    SigmaType,
+    Signature,
+    X,
+    Y,
+    eq,
+    equality_tracker_dfa,
+    generate_finite_runs,
+    inequality_tracker_dfa,
+    neq,
+    project_extended,
+    project_register_automaton,
+)
+from repro.automata.regex import literal
+from repro.foundations.errors import SpecificationError
+
+from tests.helpers import canonical_trace
+
+EMPTY = SigmaType()
+
+
+class TestTrackers:
+    @pytest.fixture
+    def normalized_example1(self, example1_automaton):
+        return example1_automaton.completed().state_driven()
+
+    def test_equality_tracker_accepts_carried_values(self, normalized_example1):
+        """Register 2 carries its value along every factor of Example 1."""
+        dfa = equality_tracker_dfa(normalized_example1, 2, 2)
+        for state_word_len in (1, 2, 3):
+            # every factor of every state trace keeps register 2 constant:
+            # pick any path through the state-driven control
+            state = sorted(normalized_example1.states, key=repr)[0]
+            word = [state]
+            for _ in range(state_word_len - 1):
+                nexts = normalized_example1.transitions_from(word[-1])
+                if not nexts:
+                    break
+                word.append(nexts[0].target)
+            assert dfa.accepts(word)
+
+    def test_equality_tracker_single_position(self, normalized_example1):
+        """e=_{12} accepts single states whose guard has x1 = x2."""
+        dfa = equality_tracker_dfa(normalized_example1, 1, 2)
+        for state in normalized_example1.states:
+            guard = normalized_example1.guard_of_state(state)
+            assert dfa.accepts([state]) == guard.entails(eq(X(1), X(2)))
+
+    def test_inequality_tracker_single_position(self):
+        change = SigmaType([neq(X(1), Y(1))])
+        automaton = RegisterAutomaton(
+            1, Signature.empty(), {"q"}, {"q"}, {"q"}, [("q", change, "q")]
+        ).completed().state_driven()
+        dfa = inequality_tracker_dfa(automaton, 1, 1)
+        states = sorted(automaton.states, key=repr)
+        # adjacent positions differ: factors of length 2 accepted
+        for source in states:
+            for transition in automaton.transitions_from(source):
+                assert dfa.accepts([source, transition.target])
+        # single positions never (x1 != x1 unsatisfiable)
+        for state in states:
+            assert not dfa.accepts([state])
+
+
+class TestExample4And5:
+    """Example 4: register automata are NOT closed under projection;
+    Example 5 / Theorem 13: extended automata describe the projection."""
+
+    def test_projection_needs_global_constraints(self, example1_automaton):
+        """Example 4's moral: the projection cannot be purely local.
+
+        The projected view carries an equality constraint whose language
+        contains factors longer than 2 -- exactly the long-distance
+        "initial value recurs" condition no register automaton can state
+        on one register.
+        """
+        projected = project_register_automaton(example1_automaton, 1)
+        long_equalities = []
+        for constraint in projected.constraints:
+            if constraint.kind != "eq":
+                continue
+            dfa = projected.constraint_dfa(constraint)
+            witness = dfa.shortest_accepted()
+            if witness is not None:
+                # is there also a *longer* accepted factor?
+                longer = any(
+                    dfa.accepts(witness[:1] * n + witness)
+                    for n in range(1, 4)
+                ) or not dfa.intersect(dfa).is_empty()
+                long_equalities.append(constraint)
+        assert long_equalities
+
+    def test_example1_projection_exact(self, example1_automaton, empty_database):
+        """Brute-force check: Pi_1(prefixes of A) == constrained prefixes of B."""
+        from tests.helpers import projection_prefix_sets
+
+        projected = project_register_automaton(example1_automaton, 1)
+        original, image = projection_prefix_sets(
+            example1_automaton, projected, 1, length=4
+        )
+        assert original == image
+
+    def test_projection_to_zero_registers(self, example1_automaton):
+        projected = project_register_automaton(example1_automaton, 0)
+        assert projected.automaton.k == 0
+
+    def test_projection_rejects_database_automata(self, example23_automaton):
+        with pytest.raises(SpecificationError):
+            project_register_automaton(example23_automaton, 1)
+
+    def test_projection_register_bound(self, example1_automaton):
+        with pytest.raises(SpecificationError):
+            project_register_automaton(example1_automaton, 3)
+
+
+class TestProjectExtended:
+    def test_projecting_away_constraint_free_register(self, empty_database):
+        """2 registers, register 2 independent: projection is the free automaton."""
+        keep2 = SigmaType([eq(X(2), Y(2))])
+        automaton = RegisterAutomaton(
+            2, Signature.empty(), {"q"}, {"q"}, {"q"}, [("q", keep2, "q")]
+        )
+        extended = ExtendedAutomaton(automaton, [])
+        projected = project_extended(extended, 1)
+        from tests.helpers import projection_prefix_sets
+
+        original, image = projection_prefix_sets(automaton, projected, 1, length=4)
+        assert original == image
+
+    def test_inequality_constraint_transported(self, empty_database):
+        """1 visible + 1 hidden register tied together; a global inequality
+        on the hidden register must reappear on the visible one."""
+        tie = SigmaType([eq(X(1), X(2)), eq(Y(1), Y(2))])
+        automaton = RegisterAutomaton(
+            2, Signature.empty(), {"q"}, {"q"}, {"q"}, [("q", tie, "q")]
+        )
+        # hidden register pairwise distinct at adjacent positions
+        extended = ExtendedAutomaton(
+            automaton,
+            [GlobalConstraint("neq", 2, 2, literal("q") + literal("q"))],
+        )
+        projected = project_extended(extended, 1)
+        from repro.db import Database
+        from tests.helpers import value_pool_of_size
+
+        length = 4
+        pool = value_pool_of_size(length + length + 1)
+        original = {
+            canonical_trace(tuple(row[:1] for row in run.data))
+            for run in generate_finite_runs(automaton, empty_database, length, pool=pool)
+            if extended.satisfies_constraints(run)
+        }
+        image = {
+            canonical_trace(run.data)
+            for run in generate_finite_runs(
+                projected.automaton, empty_database, length, pool=value_pool_of_size(length + 1)
+            )
+            if projected.satisfies_constraints(run)
+        }
+        assert original == image

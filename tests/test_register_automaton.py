@@ -1,0 +1,125 @@
+"""Tests for the base model: Examples 1-3 and the normal forms."""
+
+import pytest
+
+from repro import RegisterAutomaton, SigmaType, Signature, Transition, X, Y, eq, neq, rel
+from repro.foundations.errors import SpecificationError
+
+
+class TestConstruction:
+    def test_example1_shape(self, example1_automaton):
+        assert example1_automaton.k == 2
+        assert len(example1_automaton.transitions) == 3
+        assert example1_automaton.initial == {"q1"}
+        assert example1_automaton.accepting == {"q1"}
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(SpecificationError):
+            RegisterAutomaton(
+                1, Signature.empty(), {"a"}, {"a"}, {"a"}, [("a", SigmaType(), "b")]
+            )
+
+    def test_initial_must_be_state(self):
+        with pytest.raises(SpecificationError):
+            RegisterAutomaton(1, Signature.empty(), {"a"}, {"b"}, {"a"}, [])
+
+    def test_guard_register_out_of_range(self):
+        with pytest.raises(SpecificationError):
+            RegisterAutomaton(
+                1,
+                Signature.empty(),
+                {"a"},
+                {"a"},
+                {"a"},
+                [("a", SigmaType([eq(X(2), Y(1))]), "a")],
+            )
+
+    def test_guard_unknown_relation(self):
+        with pytest.raises(SpecificationError):
+            RegisterAutomaton(
+                1,
+                Signature.empty(),
+                {"a"},
+                {"a"},
+                {"a"},
+                [("a", SigmaType([rel("R", X(1))]), "a")],
+            )
+
+    def test_guard_unknown_constant(self):
+        from repro.logic.terms import Const
+
+        with pytest.raises(SpecificationError):
+            RegisterAutomaton(
+                1,
+                Signature.empty(),
+                {"a"},
+                {"a"},
+                {"a"},
+                [("a", SigmaType([eq(X(1), Const("c"))]), "a")],
+            )
+
+    def test_zero_registers_allowed(self):
+        automaton = RegisterAutomaton(
+            0, Signature.empty(), {"a"}, {"a"}, {"a"}, [("a", SigmaType(), "a")]
+        )
+        assert automaton.k == 0
+
+    def test_transitions_from(self, example1_automaton):
+        assert len(example1_automaton.transitions_from("q2")) == 2
+        assert example1_automaton.transitions_from("missing") == ()
+
+    def test_rename_states(self, example1_automaton):
+        renamed = example1_automaton.rename_states({"q1": "start"})
+        assert "start" in renamed.states
+        assert renamed.initial == {"start"}
+
+    def test_rename_must_be_injective(self, example1_automaton):
+        with pytest.raises(SpecificationError):
+            example1_automaton.rename_states({"q1": "q2"})
+
+
+class TestCompletion:
+    def test_example1_not_complete(self, example1_automaton):
+        """Example 2: delta3 leaves y1 vs y2 open (among others)."""
+        assert not example1_automaton.is_complete()
+
+    def test_completed_is_complete(self, example1_automaton):
+        assert example1_automaton.completed().is_complete()
+
+    def test_completion_splits_transitions(self, example1_automaton):
+        completed = example1_automaton.completed()
+        assert len(completed.transitions) > len(example1_automaton.transitions)
+
+    def test_equality_completion(self, example23_automaton):
+        completed = example23_automaton.equality_completed()
+        assert completed.is_equality_complete()
+        # relational atoms stay open: full completeness would need E/U settled
+        assert not completed.is_complete()
+
+
+class TestStateDriven:
+    def test_example1_not_state_driven(self, example1_automaton):
+        """q2 fires two distinct guards (Example 3)."""
+        assert not example1_automaton.is_state_driven()
+
+    def test_state_driven_conversion(self, example1_automaton):
+        driven = example1_automaton.state_driven()
+        assert driven.is_state_driven()
+        # Example 3: three states q1, q2', q2'' and five transitions
+        assert len(driven.states) == 3
+        assert len(driven.transitions) == 5
+
+    def test_guard_of_state(self, example1_automaton):
+        driven = example1_automaton.state_driven()
+        for state in driven.states:
+            guard = driven.guard_of_state(state)
+            assert guard == state[1]
+
+    def test_guard_of_state_rejects_ambiguity(self, example1_automaton):
+        with pytest.raises(SpecificationError):
+            example1_automaton.guard_of_state("q2")
+
+    def test_state_driven_preserves_acceptance_structure(self, example1_automaton):
+        driven = example1_automaton.state_driven()
+        assert all(pair[0] == "q1" for pair in driven.initial)
+        assert all(pair[0] == "q1" for pair in driven.accepting)

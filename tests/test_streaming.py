@@ -1,0 +1,132 @@
+"""Tests for the streaming run checker."""
+
+import pytest
+
+from repro import (
+    Database,
+    ExtendedAutomaton,
+    GlobalConstraint,
+    RegisterAutomaton,
+    SigmaType,
+    Signature,
+    X,
+    Y,
+    eq,
+    neq,
+)
+from repro.automata.regex import concat, literal, plus, star
+from repro.core.streaming import StreamingChecker, StreamingViolation
+
+EMPTY = SigmaType()
+
+
+@pytest.fixture
+def example5(example5_extended):
+    return example5_extended
+
+
+@pytest.fixture
+def db(empty_database):
+    return empty_database
+
+
+class TestValidity:
+    def test_accepts_valid_stream(self, example1_automaton, db):
+        checker = StreamingChecker(ExtendedAutomaton(example1_automaton, []), db)
+        assert checker.feed("q1", ("v", "v")) is None
+        assert checker.feed("q2", ("w", "v")) is None
+        assert checker.feed("q2", ("u", "v")) is None
+        assert checker.feed("q1", ("v", "v")) is None
+
+    def test_rejects_bad_initial_state(self, example1_automaton, db):
+        checker = StreamingChecker(ExtendedAutomaton(example1_automaton, []), db)
+        with pytest.raises(StreamingViolation):
+            checker.feed("q2", ("v", "v"))
+
+    def test_rejects_guard_violation(self, example1_automaton, db):
+        checker = StreamingChecker(ExtendedAutomaton(example1_automaton, []), db)
+        checker.feed("q1", ("v", "v"))
+        # delta1 and delta2/3 all require x2 = y2: changing register 2 fails
+        with pytest.raises(StreamingViolation):
+            checker.feed("q2", ("w", "CHANGED"))
+
+    def test_rejects_wrong_arity(self, example1_automaton, db):
+        checker = StreamingChecker(ExtendedAutomaton(example1_automaton, []), db)
+        with pytest.raises(StreamingViolation):
+            checker.feed("q1", ("v",))
+
+    def test_non_strict_mode_reports(self, example1_automaton, db):
+        checker = StreamingChecker(
+            ExtendedAutomaton(example1_automaton, []), db, strict=False
+        )
+        message = checker.feed("q2", ("v", "v"))
+        assert message is not None
+        assert checker.failed == message
+
+
+class TestConstraints:
+    def test_equality_constraint_streamed(self, example5, db):
+        checker = StreamingChecker(example5, db)
+        checker.feed("p1", ("d",))
+        checker.feed("p2", ("a",))
+        checker.feed("p2", ("b",))
+        assert checker.feed("p1", ("d",)) is None  # same value back at p1
+
+    def test_equality_violation_detected_at_completion(self, example5, db):
+        checker = StreamingChecker(example5, db)
+        checker.feed("p1", ("d",))
+        checker.feed("p2", ("a",))
+        with pytest.raises(StreamingViolation):
+            checker.feed("p1", ("OTHER",))
+
+    def test_inequality_constraint_streamed(self, example7_extended, db):
+        checker = StreamingChecker(example7_extended, db)
+        for index in range(6):
+            assert checker.feed("q", ("v%d" % index,)) is None
+        with pytest.raises(StreamingViolation):
+            checker.feed("q", ("v2",))  # repeats an earlier value
+
+    def test_agrees_with_batch_checker(self, example7_extended, db):
+        """Streaming and batch verdicts coincide on finite runs."""
+        from repro import FiniteRun
+
+        good = FiniteRun(
+            tuple(("v%d" % i,) for i in range(5)), ("q",) * 5, (EMPTY,) * 4
+        )
+        bad = FiniteRun(
+            (("a",), ("b",), ("a",)), ("q",) * 3, (EMPTY,) * 2
+        )
+        for run, expected in ((good, True), (bad, False)):
+            checker = StreamingChecker(example7_extended, db, strict=False)
+            message = checker.feed_run(run)
+            assert (message is None) == expected
+            assert example7_extended.satisfies_constraints(run) == expected
+
+
+class TestMemoryDiscipline:
+    def test_bounded_threads_on_lr_bounded_spec(self, db):
+        """Adjacent-disequality spec: live threads stay bounded (Thm 19)."""
+        base = RegisterAutomaton(
+            1,
+            Signature.empty(),
+            {"p", "q"},
+            {"p"},
+            {"p"},
+            [("p", EMPTY, "q"), ("q", EMPTY, "p")],
+        )
+        spec = ExtendedAutomaton(
+            base, [GlobalConstraint("neq", 1, 1, concat(literal("p"), literal("q")))]
+        )
+        checker = StreamingChecker(spec, db)
+        for index in range(200):
+            state = "p" if index % 2 == 0 else "q"
+            checker.feed(state, ("v%d" % index,))
+        assert checker.peak_threads <= 4
+
+    def test_unbounded_threads_on_all_distinct(self, example7_extended, db):
+        """All-distinct: stored values grow with the stream (the paper's
+        point: no register automaton, hence no bounded memory, suffices)."""
+        checker = StreamingChecker(example7_extended, db)
+        for index in range(50):
+            checker.feed("q", ("v%d" % index,))
+        assert checker.peak_threads >= 49

@@ -1,0 +1,110 @@
+"""Tests for symbolic control traces and their realisation (Theorem 9 stage 1)."""
+
+import pytest
+
+from repro import (
+    Lasso,
+    RegisterAutomaton,
+    SigmaType,
+    Signature,
+    X,
+    Y,
+    eq,
+    is_symbolic_control_trace,
+    neq,
+    realize_control_trace,
+    rel,
+    scontrol_buchi,
+    state_trace_buchi,
+)
+from repro.core.symbolic import control_equals_scontrol_on_samples
+from repro.foundations.errors import SpecificationError
+
+
+class TestSControlBuchi:
+    def test_example1_state_trace_language(self, example1_automaton):
+        """State(A) = (q1 q2+)^omega for Example 1."""
+        buchi = state_trace_buchi(example1_automaton)
+        assert buchi.accepts(Lasso((), ("q1", "q2", "q2", "q2")))
+        assert buchi.accepts(Lasso((), ("q1", "q2")))
+        assert not buchi.accepts(Lasso((), ("q2", "q1")))
+        assert not buchi.accepts(Lasso(("q1",), ("q2",)))  # q1 must recur
+
+    def test_control_trace_membership(self, example1_automaton, example1_guards):
+        d1, d2, d3 = example1_guards
+        good = Lasso((), (("q1", d1), ("q2", d2), ("q2", d3)))
+        assert is_symbolic_control_trace(example1_automaton, good)
+        bad = Lasso((), (("q1", d1), ("q1", d1)))
+        assert not is_symbolic_control_trace(example1_automaton, bad)
+
+    def test_agreement_rejects_inconsistent_traces(self):
+        """Consecutive complete types must agree on shared registers."""
+        keep = SigmaType([eq(X(1), Y(1))])
+        flip = SigmaType([neq(X(1), Y(1))])
+        automaton = RegisterAutomaton(
+            1,
+            Signature.empty(),
+            {"a", "b"},
+            {"a"},
+            {"a"},
+            [("a", keep, "b"), ("b", flip, "a")],
+        )
+        buchi = scontrol_buchi(automaton)
+        trace = Lasso((), (("a", keep), ("b", flip)))
+        # keep and flip leave the boundary open, so they agree trivially
+        assert buchi.accepts(trace)
+
+
+class TestRealization:
+    def test_example1_realization(self, example1_automaton, example1_guards):
+        d1, d2, d3 = example1_guards
+        trace = Lasso((), (("q1", d1), ("q2", d2), ("q2", d2), ("q2", d2), ("q2", d3)))
+        database, run = realize_control_trace(example1_automaton, trace)
+        assert run.is_valid(example1_automaton, database)
+        assert run.control_trace().map(lambda p: p[0]) == trace.map(lambda p: p[0])
+
+    def test_example1_recurring_initial_value(self, example1_automaton, example1_guards):
+        """The projection insight of Example 4: register 2 pins the value."""
+        d1, d2, d3 = example1_guards
+        trace = Lasso((), (("q1", d1), ("q2", d2), ("q2", d3)))
+        _database, run = realize_control_trace(example1_automaton, trace)
+        # register 2 carries one value forever
+        second = {row[1] for row in run.data}
+        assert len(second) == 1
+
+    def test_non_member_trace_rejected(self, example1_automaton, example1_guards):
+        d1, _d2, _d3 = example1_guards
+        with pytest.raises(SpecificationError):
+            realize_control_trace(
+                example1_automaton, Lasso((), (("q1", d1), ("q1", d1)))
+            )
+
+    def test_local_disequality_needs_unfolding(self):
+        """x1 != y1 on a 1-letter loop has no 1-unfolding witness."""
+        change = SigmaType([neq(X(1), Y(1))])
+        automaton = RegisterAutomaton(
+            1, Signature.empty(), {"q"}, {"q"}, {"q"}, [("q", change, "q")]
+        )
+        trace = Lasso((), (("q", change),))
+        database, run = realize_control_trace(automaton, trace)
+        assert run.is_valid(automaton, database)
+        assert run.loop_length >= 2
+
+    def test_database_facts_realized(self, example23_automaton):
+        automaton = example23_automaton.equality_completed()
+        buchi = scontrol_buchi(automaton)
+        trace = buchi.find_accepted_lasso()
+        assert trace is not None
+        database, run = realize_control_trace(automaton, trace, check_membership=False)
+        assert run.is_valid(automaton, database)
+        assert database.size() > 0  # E and U facts were materialised
+
+    def test_control_equals_scontrol_on_samples(self, example1_automaton):
+        assert control_equals_scontrol_on_samples(
+            example1_automaton, max_prefix=1, max_cycle=5, limit=15
+        )
+
+    def test_control_equals_scontrol_with_database(self, example8_extended):
+        assert control_equals_scontrol_on_samples(
+            example8_extended.automaton, max_prefix=1, max_cycle=3, limit=10
+        )

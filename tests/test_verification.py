@@ -1,0 +1,132 @@
+"""Tests for LTL-FO verification (Theorem 12)."""
+
+import pytest
+
+from repro import (
+    ExtendedAutomaton,
+    GlobalConstraint,
+    LtlFoSentence,
+    RegisterAutomaton,
+    SigmaType,
+    Signature,
+    X,
+    Y,
+    eq,
+    neq,
+    run_satisfies,
+    verify,
+)
+from repro.automata.regex import concat, literal, plus
+from repro.logic.formulas import atom_eq, atom_rel
+from repro.logic.terms import Var
+from repro.ltl import Eventually, Globally, Not_, Prop
+from repro.ltl.syntax import Or_
+
+EMPTY = SigmaType()
+
+
+def sentence_eq12(skeleton_factory):
+    return LtlFoSentence(
+        skeleton=skeleton_factory(Prop("eq12")),
+        propositions={"eq12": atom_eq(X(1), X(2))},
+    )
+
+
+class TestRegisterAutomatonVerification:
+    """Exact verification: no global constraints."""
+
+    def test_invariant_holds(self, example1_automaton):
+        # G(eq12 -> F eq12) is a tautology-like response property
+        sentence = LtlFoSentence(
+            skeleton=Globally(Or_(Not_(Prop("eq12")), Eventually(Prop("eq12")))),
+            propositions={"eq12": atom_eq(X(1), X(2))},
+        )
+        result = verify(ExtendedAutomaton(example1_automaton, []), sentence)
+        assert result.holds and result.exact
+
+    def test_violated_invariant_with_counterexample(self, example1_automaton):
+        sentence = sentence_eq12(Globally)
+        result = verify(ExtendedAutomaton(example1_automaton, []), sentence)
+        assert not result.holds
+        assert result.exact
+        out = result.counterexample.lasso_run()
+        assert out is not None
+        database, run = out
+        # the concrete counterexample genuinely violates the property
+        visible = run.project(2)
+        assert not run_satisfies(sentence, visible, database)
+
+    def test_eventuality_holds(self, example1_automaton):
+        # delta1 forces x1 = x2 at position 0, so F eq12 holds
+        sentence = sentence_eq12(Eventually)
+        result = verify(ExtendedAutomaton(example1_automaton, []), sentence)
+        assert result.holds and result.exact
+
+    def test_global_variables(self, example1_automaton):
+        """forall z: G (x2 = z -> F x1 = z): register 2 pins register 1's recurrence."""
+        z = Var("z1")
+        sentence = LtlFoSentence(
+            skeleton=Globally(Or_(Not_(Prop("x2z")), Eventually(Prop("x1z")))),
+            propositions={"x2z": atom_eq(X(2), z), "x1z": atom_eq(X(1), z)},
+            global_vars=(z,),
+        )
+        result = verify(ExtendedAutomaton(example1_automaton, []), sentence)
+        assert result.holds
+
+    def test_global_variables_violation(self, example1_automaton):
+        """forall z: G x1 != z is false (choose z = the first value)."""
+        z = Var("z1")
+        sentence = LtlFoSentence(
+            skeleton=Globally(Not_(Prop("hit"))),
+            propositions={"hit": atom_eq(X(1), z)},
+            global_vars=(z,),
+        )
+        result = verify(ExtendedAutomaton(example1_automaton, []), sentence)
+        assert not result.holds
+
+
+class TestExtendedVerification:
+    def test_all_distinct_never_repeats(self, example7_extended):
+        """On the all-distinct automaton, G (x1 != y1) holds."""
+        sentence = LtlFoSentence(
+            skeleton=Globally(Prop("change")),
+            propositions={"change": ~atom_eq(X(1), Y(1))},
+        )
+        result = verify(example7_extended, sentence, max_cycle=4)
+        assert result.holds
+
+    def test_plain_base_would_violate(self, example7_extended):
+        """Without the constraint the same property fails (sanity contrast)."""
+        sentence = LtlFoSentence(
+            skeleton=Globally(Prop("change")),
+            propositions={"change": ~atom_eq(X(1), Y(1))},
+        )
+        bare = ExtendedAutomaton(example7_extended.automaton, [])
+        result = verify(bare, sentence)
+        assert not result.holds and result.exact
+
+    def test_database_property(self, example8_extended):
+        """G P(x1) holds: every guard requires membership."""
+        sentence = LtlFoSentence(
+            skeleton=Globally(Prop("inP")),
+            propositions={"inP": atom_rel("P", X(1))},
+        )
+        result = verify(example8_extended, sentence, max_cycle=4)
+        assert result.holds
+
+
+class TestRunSatisfies:
+    def test_oracle_on_lasso(self, example1_automaton, example1_guards, empty_database):
+        from repro import LassoRun
+
+        d1, d2, d3 = example1_guards
+        run = LassoRun(
+            data=(("v", "v"), ("w", "v"), ("v", "v")),
+            states=("q1", "q2", "q2"),
+            guards=(d1, d2, d3),
+            loop_start=0,
+        )
+        eventually_eq = sentence_eq12(Eventually)
+        globally_eq = sentence_eq12(Globally)
+        assert run_satisfies(eventually_eq, run, empty_database)
+        assert not run_satisfies(globally_eq, run, empty_database)

@@ -1,0 +1,147 @@
+"""Tests for the workflow layer and role views."""
+
+import pytest
+
+from repro import (
+    Database,
+    Signature,
+    database_hidden_view,
+    find_lasso_run,
+    manuscript_review_workflow,
+    role_view,
+)
+from repro.foundations.errors import SpecificationError
+from repro.workflows import Stage, WorkflowSpec
+
+
+class TestWorkflowSpec:
+    def test_needs_recurring_stage(self):
+        with pytest.raises(SpecificationError):
+            WorkflowSpec(attributes=["a"], stages=[Stage("s")])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SpecificationError):
+            WorkflowSpec(
+                attributes=["a", "a"], stages=[Stage("s", recurring=True)]
+            )
+
+    def test_unknown_stage_in_rule(self):
+        spec = WorkflowSpec(attributes=["a"], stages=[Stage("s", recurring=True)])
+        with pytest.raises(SpecificationError):
+            spec.rule("s", "missing")
+
+    def test_compilation_shape(self):
+        spec = WorkflowSpec(
+            attributes=["a", "b"],
+            stages=[Stage("start"), Stage("end", recurring=True)],
+        )
+        spec.rule("start", "end").keep("a").changed("b")
+        spec.rule("end", "end").keep("a", "b")
+        automaton = spec.compile()
+        assert automaton.k == 2
+        assert automaton.initial == {"start"}
+        assert automaton.accepting == {"end"}
+        assert len(automaton.transitions) == 2
+
+    def test_lookup_validates_against_signature(self):
+        spec = WorkflowSpec(
+            attributes=["a"],
+            stages=[Stage("s", recurring=True)],
+            signature=Signature(relations={"R": 2}),
+        )
+        spec.rule("s", "s").lookup("R", "a")  # wrong arity
+        with pytest.raises(SpecificationError):
+            spec.compile()
+
+    def test_distinct_attributes_conflict_detected(self):
+        spec = WorkflowSpec(
+            attributes=["a", "b"],
+            stages=[Stage("s", recurring=True)],
+            distinct_attributes=True,
+        )
+        spec.rule("s", "s").equal("a", "b")
+        with pytest.raises(SpecificationError):
+            spec.compile()
+
+    def test_reordered_preserves_semantics(self):
+        spec = WorkflowSpec(
+            attributes=["a", "b"],
+            stages=[Stage("s", recurring=True)],
+        )
+        spec.rule("s", "s").keep("a")
+        reordered = spec.reordered(["b", "a"])
+        automaton = reordered.compile()
+        # "a" now lives in register 2
+        assert reordered.register_of("a") == 2
+        guard = automaton.transitions[0].guard
+        from repro.logic import X, Y, eq
+
+        assert guard.entails(eq(X(2), Y(2)))
+
+
+class TestReviewWorkflow:
+    def test_compiles_and_runs(self):
+        spec = manuscript_review_workflow(with_database=False)
+        automaton = spec.compile()
+        run = find_lasso_run(automaton, Database(Signature.empty()))
+        assert run is not None
+        assert "decided" in run.states
+
+    def test_runs_respect_database(self):
+        spec = manuscript_review_workflow(with_database=True)
+        automaton = spec.compile()
+        database = Database(
+            spec.signature,
+            relations={
+                "PaperTopic": [("p1", "db-theory")],
+                "Prefers": [("alice", "db-theory")],
+            },
+        )
+        run = find_lasso_run(automaton, database)
+        assert run is not None
+        reviewer_register = spec.register_of("reviewer") - 1
+        reviewing = [
+            row[reviewer_register]
+            for row, state in zip(run.data, run.states)
+            if state in ("under-review", "decided")
+        ]
+        assert "alice" in reviewing
+
+    def test_no_self_review(self):
+        spec = manuscript_review_workflow(with_database=False)
+        automaton = spec.compile()
+        run = find_lasso_run(automaton, Database(Signature.empty()))
+        author = spec.register_of("author") - 1
+        reviewer = spec.register_of("reviewer") - 1
+        for row, state in zip(run.data, run.states):
+            if state == "under-review":
+                assert row[author] != row[reviewer]
+
+
+class TestViews:
+    def test_author_view_hides_reviewer(self):
+        spec = manuscript_review_workflow(with_database=False)
+        view = role_view(spec, "author", hidden=["reviewer"])
+        assert view.visible_attributes == ["paper", "author", "topic"]
+        assert view.automaton.automaton.k == 3
+
+    def test_double_blind_view(self):
+        spec = manuscript_review_workflow(with_database=False)
+        view = role_view(spec, "reviewer", hidden=["author"])
+        assert "author" not in view.visible_attributes
+
+    def test_role_view_requires_no_database(self):
+        spec = manuscript_review_workflow(with_database=True)
+        with pytest.raises(SpecificationError):
+            role_view(spec, "author", hidden=["reviewer"])
+
+    def test_database_hidden_view(self):
+        spec = manuscript_review_workflow(with_database=True)
+        view = database_hidden_view(spec, "author", hidden=["reviewer"])
+        assert view.automaton.automaton.signature.is_empty()
+        assert view.automaton.finiteness_constraints
+
+    def test_unknown_hidden_attribute(self):
+        spec = manuscript_review_workflow(with_database=False)
+        with pytest.raises(SpecificationError):
+            role_view(spec, "author", hidden=["salary"])
