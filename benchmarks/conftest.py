@@ -76,3 +76,32 @@ def pytest_sessionfinish(session, exitstatus):
     for title, headers, rows in REGISTRY:
         if rows:
             print_table(title, headers, rows)
+    _print_cache_effectiveness()
+
+
+def _print_cache_effectiveness():
+    """The E11 observability companion: one row per cache that saw traffic."""
+    from repro.core.caching import all_cache_stats
+    from _tables import print_table
+
+    rows = []
+    for name, snap in all_cache_stats().items():
+        lookups = snap["hits"] + snap["misses"]
+        if not lookups:
+            continue
+        rows.append(
+            (
+                name,
+                snap["hits"],
+                snap["misses"],
+                "%.1f%%" % (100.0 * snap["hit_rate"]),
+                snap["evictions"],
+                snap["peak_entries"],
+            )
+        )
+    if rows:
+        print_table(
+            "Cache effectiveness",
+            ("cache", "hits", "misses", "hit rate", "evictions", "peak entries"),
+            rows,
+        )

@@ -94,6 +94,26 @@ class Dfa:
     def size(self) -> int:
         return len(self._states)
 
+    def structural_key(self) -> Tuple:
+        """A value-based fingerprint of this DFA (lazily computed, cached).
+
+        Two DFAs with the same states, alphabet, transitions, initial and
+        accepting sets share the key; distinct objects with the same
+        structure therefore deduplicate.  Use this -- never the object id --
+        when a DFA participates in a cache or dedup key: object ids are
+        recycled after garbage collection, structural keys are not.
+        """
+        cached = getattr(self, "_structural_key", None)
+        if cached is None:
+            cached = (
+                self._initial,
+                self._accepting,
+                self._alphabet,
+                frozenset(self._transitions.items()),
+            )
+            self._structural_key = cached
+        return cached
+
     # ------------------------------------------------------------------ #
     # language operations
     # ------------------------------------------------------------------ #

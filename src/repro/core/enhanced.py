@@ -33,6 +33,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from repro.automata.dfa import Dfa
 from repro.automata.regex import Regex
 from repro.foundations.errors import SpecificationError
+from repro.core.caching import cached_method
 from repro.core.extended import ExtendedAutomaton, GlobalConstraint
 from repro.core.register_automaton import RegisterAutomaton
 from repro.core.runs import FiniteRun, LassoRun
@@ -151,7 +152,6 @@ class EnhancedAutomaton:
                     "finiteness constraint register %d beyond k=%d"
                     % (constraint.register, automaton.k)
                 )
-        self._dfa_cache: Dict = {}
 
     @staticmethod
     def from_extended(extended: ExtendedAutomaton) -> "EnhancedAutomaton":
@@ -199,10 +199,9 @@ class EnhancedAutomaton:
     # satisfaction
     # ------------------------------------------------------------------ #
 
+    @cached_method("enhanced.compiled_selector", key=lambda key, expression: key)
     def _compiled(self, key, expression) -> Dfa:
-        if key not in self._dfa_cache:
-            self._dfa_cache[key] = _compile(expression, self._automaton.states)
-        return self._dfa_cache[key]
+        return _compile(expression, self._automaton.states)
 
     def constraint_violation(self, run) -> Optional[str]:
         """The first violated constraint on *run*, or ``None``.

@@ -20,7 +20,6 @@ This module provides:
 """
 
 from dataclasses import dataclass
-from functools import lru_cache
 from itertools import product as cartesian_product
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -30,6 +29,7 @@ from repro.foundations.errors import InconsistentTypeError, SpecificationError
 from repro.logic.literals import eq as lit_eq
 from repro.logic.terms import Var, X, Y
 from repro.logic.types import SigmaType
+from repro.core.caching import cached_method
 from repro.core.register_automaton import RegisterAutomaton, State, Transition
 from repro.core.runs import FiniteRun, LassoRun
 
@@ -118,7 +118,6 @@ class ExtendedAutomaton:
                     "constraint %r refers to registers beyond k=%d"
                     % (constraint, automaton.k)
                 )
-        self._dfa_cache: Dict[GlobalConstraint, Dfa] = {}
 
     @property
     def automaton(self) -> RegisterAutomaton:
@@ -138,11 +137,11 @@ class ExtendedAutomaton:
     def inequality_constraints(self) -> Tuple[GlobalConstraint, ...]:
         return tuple(c for c in self._constraints if c.kind == NEQ)
 
+    @cached_method("extended.constraint_dfa")
     def constraint_dfa(self, constraint: GlobalConstraint) -> Dfa:
-        """The constraint's DFA over the automaton's state alphabet (cached)."""
-        if constraint not in self._dfa_cache:
-            self._dfa_cache[constraint] = constraint.compiled(self._automaton.states)
-        return self._dfa_cache[constraint]
+        """The constraint's DFA over the automaton's state alphabet (cached
+        per extended-automaton instance; see :mod:`repro.core.caching`)."""
+        return constraint.compiled(self._automaton.states)
 
     # ------------------------------------------------------------------ #
     # constraint satisfaction on runs

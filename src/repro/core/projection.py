@@ -465,19 +465,15 @@ def _agreeing_projected_transitions(normalised: RegisterAutomaton, m: int):
     control trace of the original automaton, hence realisable and
     consistent (Theorem 9).
     """
-    from repro.logic.types import agree
+    from repro.core.caching import agreement
 
     k = normalised.k
-    agreement_cache = {}
     transitions = []
     for transition in normalised.transitions:
         source_guard = normalised.guard_of_state(transition.source)
         target_guard = normalised.guard_of_state(transition.target)
         if target_guard is not None:
-            key = (source_guard, target_guard)
-            if key not in agreement_cache:
-                agreement_cache[key] = agree(source_guard, target_guard, k)
-            if not agreement_cache[key]:
+            if not agreement(source_guard, target_guard, k):
                 continue
         transitions.append(
             Transition(transition.source, project_type(transition.guard, m, k), transition.target)

@@ -23,6 +23,7 @@ from repro.db.schema import Signature
 from repro.foundations.errors import SpecificationError
 from repro.logic.terms import Const, Var, register_index, x_vars, y_vars
 from repro.logic.types import SigmaType
+from repro.core.caching import AutomatonIndex
 
 State = Hashable
 
@@ -156,15 +157,21 @@ class RegisterAutomaton:
         return self._transitions
 
     @cached_property
-    def _by_source(self) -> Dict[State, Tuple[Transition, ...]]:
-        grouped: Dict[State, List[Transition]] = {}
-        for transition in self._transitions:
-            grouped.setdefault(transition.source, []).append(transition)
-        return {state: tuple(ts) for state, ts in grouped.items()}
+    def index(self) -> AutomatonIndex:
+        """The precomputed transition tables (see :mod:`repro.core.caching`)."""
+        return AutomatonIndex.of(self)
 
     def transitions_from(self, state: State) -> Tuple[Transition, ...]:
         """All transitions whose source is *state*."""
-        return self._by_source.get(state, ())
+        return self.index.transitions_from(state)
+
+    def transitions_between(self, source: State, target: State) -> Tuple[Transition, ...]:
+        """All transitions from *source* to *target* (indexed, not scanned)."""
+        return self.index.transitions_between(source, target)
+
+    def transitions_with_guard(self, source: State, guard: SigmaType) -> Tuple[Transition, ...]:
+        """All transitions from *source* firing exactly *guard*."""
+        return self.index.transitions_with_guard(source, guard)
 
     def guards_from(self, state: State) -> Tuple[SigmaType, ...]:
         """The distinct guards fired from *state* (ordered deterministically)."""

@@ -28,6 +28,7 @@ from repro.db.database import Database
 from repro.db.evaluation import evaluate_type, transition_valuation
 from repro.foundations.domain import DataValue, FreshSupply
 from repro.foundations.errors import SpecificationError
+from repro.core.caching import ValueCache
 from repro.core.register_automaton import RegisterAutomaton, State, Transition
 
 
@@ -191,9 +192,7 @@ def validity_error(run, automaton: RegisterAutomaton, database: Database) -> Opt
     state inside the loop) and the wrap-around step; for :class:`FiniteRun`
     only the prefix conditions are checked.
     """
-    transition_set = set(
-        (t.source, t.guard, t.target) for t in automaton.transitions
-    )
+    index = automaton.index
     n = len(run.states)
     if n == 0:
         return "empty run"
@@ -216,7 +215,10 @@ def validity_error(run, automaton: RegisterAutomaton, database: Database) -> Opt
         steps = [(i, i + 1) for i in range(n - 1)]
     for i, j in steps:
         guard = run.guards[i]
-        if (run.states[i], guard, run.states[j]) not in transition_set:
+        if not any(
+            t.target == run.states[j]
+            for t in index.transitions_with_guard(run.states[i], guard)
+        ):
             return "no transition (%r, %s, %r) at position %d" % (
                 run.states[i],
                 guard.pretty(),
@@ -250,7 +252,7 @@ def value_pool(
     return tuple(adom) + tuple(supply.take_many(extra_fresh))
 
 
-_GUARD_LEVELS: Dict = {}
+_GUARD_LEVELS = ValueCache("runs.guard_levels")
 
 
 def _guard_levels(guard, k: int):
@@ -259,25 +261,23 @@ def _guard_levels(guard, k: int):
     ``levels[0]`` holds literals with no y-variables (checkable before any
     next-register value is chosen); ``levels[l]`` holds literals whose
     highest y-index is ``l`` (checkable once ``y_1 .. y_l`` are fixed).
-    Cached per guard: run search evaluates the same guards millions of
-    times.
+    Cached per guard *value*: run search evaluates the same guards millions
+    of times, and structurally equal guards share one entry.
     """
     from repro.logic.terms import register_index
 
-    key = (guard, k)
-    cached = _GUARD_LEVELS.get(key)
-    if cached is not None:
-        return cached
-    levels: List[List] = [[] for _ in range(k + 1)]
-    for literal in guard.literals:
-        highest = 0
-        for term in literal.terms:
-            decomposed = register_index(term)
-            if decomposed and decomposed[0] == "y":
-                highest = max(highest, decomposed[1])
-        levels[highest].append(literal)
-    _GUARD_LEVELS[key] = levels
-    return levels
+    def compute() -> List[List]:
+        levels: List[List] = [[] for _ in range(k + 1)]
+        for literal in guard.literals:
+            highest = 0
+            for term in literal.terms:
+                decomposed = register_index(term)
+                if decomposed and decomposed[0] == "y":
+                    highest = max(highest, decomposed[1])
+            levels[highest].append(literal)
+        return levels
+
+    return _GUARD_LEVELS.lookup((guard, k), compute)
 
 
 def _register_choices(

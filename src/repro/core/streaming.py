@@ -28,6 +28,7 @@ from repro.db.database import Database
 from repro.db.evaluation import evaluate_type, transition_valuation
 from repro.foundations.domain import DataValue
 from repro.foundations.errors import SpecificationError
+from repro.core.caching import dead_states
 from repro.core.extended import ExtendedAutomaton
 from repro.core.register_automaton import State
 
@@ -73,6 +74,11 @@ class StreamingChecker:
             {} for _ in extended.constraints
         ]
         self._dfas = [extended.constraint_dfa(c) for c in extended.constraints]
+        # Dead-state sets are computed per DFA (one backward BFS each) and
+        # cached per DFA *object* -- never in a module-level dict keyed by
+        # the DFA's id, which served stale verdicts when object ids were
+        # recycled across garbage-collected DFAs.
+        self._dead = [dead_states(dfa) for dfa in self._dfas]
         self.peak_threads = 0
 
     # ------------------------------------------------------------------ #
@@ -125,9 +131,7 @@ class StreamingChecker:
         else:
             previous_state, previous_registers = self._previous
             valuation = transition_valuation(previous_registers, registers)
-            for transition in self._automaton.transitions_from(previous_state):
-                if transition.target != state:
-                    continue
+            for transition in self._automaton.transitions_between(previous_state, state):
                 if evaluate_type(transition.guard, self._database, valuation):
                     break
             else:
@@ -169,8 +173,9 @@ class StreamingChecker:
                             % (position, constraint, current)
                         )
             # drop threads parked in dead states (no accepting reachable)
+            dead = self._dead[index]
             self._threads[index] = {
-                s: vs for s, vs in advanced.items() if not _is_dead(dfa, s)
+                s: vs for s, vs in advanced.items() if s not in dead
             }
         self.peak_threads = max(self.peak_threads, self.live_threads())
         return None
@@ -182,28 +187,3 @@ class StreamingChecker:
             if message is not None:
                 return message
         return None
-
-
-_DEAD_CACHE: Dict[Tuple[int, object], bool] = {}
-
-
-def _is_dead(dfa, state) -> bool:
-    """Whether no accepting state is reachable from *state* (cached)."""
-    key = (id(dfa), state)
-    if key in _DEAD_CACHE:
-        return _DEAD_CACHE[key]
-    seen = {state}
-    frontier = [state]
-    dead = True
-    while frontier:
-        node = frontier.pop()
-        if node in dfa.accepting:
-            dead = False
-            break
-        for symbol in dfa.alphabet:
-            target = dfa.delta(node, symbol)
-            if target not in seen:
-                seen.add(target)
-                frontier.append(target)
-    _DEAD_CACHE[key] = dead
-    return dead

@@ -40,7 +40,7 @@ from repro.foundations.domain import FreshSupply
 from repro.logic.closure import UnionFind
 from repro.logic.literals import EqAtom, RelAtom
 from repro.logic.terms import Const, register_index
-from repro.logic.types import agree
+from repro.core.caching import AutomatonIndex, agreement
 from repro.core.register_automaton import RegisterAutomaton
 from repro.core.runs import LassoRun
 
@@ -62,22 +62,15 @@ def scontrol_buchi(automaton: RegisterAutomaton) -> BuchiAutomaton:
     pair_set = set(pairs)
     k = automaton.k
     transitions: Dict[Tuple, Dict[Tuple, set]] = {}
-    agreement: Dict[Tuple, bool] = {}
-
-    def agrees(delta_now, delta_next) -> bool:
-        key = (delta_now, delta_next)
-        if key not in agreement:
-            agreement[key] = agree(delta_now, delta_next, k)
-        return agreement[key]
+    index = AutomatonIndex.of(automaton)
+    pairs_by_state: Dict[object, List[Tuple]] = {}
+    for pair in pairs:
+        pairs_by_state.setdefault(pair[0], []).append(pair)
 
     for source_state, guard in pairs:
-        for transition in automaton.transitions_from(source_state):
-            if transition.guard != guard:
-                continue
-            for next_pair in pairs:
-                if next_pair[0] != transition.target:
-                    continue
-                if not agrees(guard, next_pair[1]):
+        for transition in index.transitions_with_guard(source_state, guard):
+            for next_pair in pairs_by_state.get(transition.target, ()):
+                if not agreement(guard, next_pair[1], k):
                     continue
                 transitions.setdefault((source_state, guard), {}).setdefault(
                     (source_state, guard), set()

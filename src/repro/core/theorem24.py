@@ -40,6 +40,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.automata.dfa import Dfa
 from repro.foundations.errors import SpecificationError
+from repro.core.caching import ValueCache, agreement
 from repro.logic.terms import Const, X, Y, register_index
 from repro.logic.types import SigmaType, project_type_dataless
 from repro.core.enhanced import (
@@ -184,13 +185,14 @@ def relational_tuple_constraints(
     occurrences = _literal_occurrences(automaton)
     negatives = [o for o in occurrences if not o[1]]
     positives = [o for o in occurrences if o[1]]
-    corridor_cache: Dict[Tuple, Dfa] = {}
+    # Per-call memo (the automaton changes between calls); stats accumulate
+    # under one shared name for the benchmark report.
+    corridor_cache = ValueCache("theorem24.corridor")
 
     def corridor(start, end) -> Dfa:
-        key = (start, end)
-        if key not in corridor_cache:
-            corridor_cache[key] = corridor_dfa(automaton, start, end)
-        return corridor_cache[key]
+        return corridor_cache.lookup(
+            (start, end), lambda: corridor_dfa(automaton, start, end)
+        )
 
     constraints: List[TupleInequalityConstraint] = []
     for neg_state, _np, relation_n, args_n in negatives:
@@ -221,11 +223,18 @@ def relational_tuple_constraints(
                         )
                         if constraint is not None:
                             constraints.append(constraint)
-    # Deduplicate structurally identical constraints.
+    # Deduplicate structurally identical constraints.  The factor DFA is
+    # identified by its structural fingerprint, not by its object id: ids
+    # are recycled by the allocator, so two distinct factors could collide
+    # (and one be silently dropped) under an id-based key.
     unique: List[TupleInequalityConstraint] = []
     seen: Set[Tuple] = set()
     for constraint in constraints:
-        key = (constraint.left, constraint.right, id(constraint.selector.factor))
+        key = (
+            constraint.left,
+            constraint.right,
+            constraint.selector.factor.structural_key(),
+        )
         if key not in seen:
             seen.add(key)
             unique.append(constraint)
@@ -313,19 +322,12 @@ def project_with_database(automaton: RegisterAutomaton, m: int) -> EnhancedAutom
     from repro.db.schema import Signature
     from repro.automata.regex import any_of, star
 
-    from repro.logic.types import agree
-
-    agreement_cache = {}
-
     def agreeing(transition):
         source_guard = normalised.guard_of_state(transition.source)
         target_guard = normalised.guard_of_state(transition.target)
         if target_guard is None:
             return True
-        key = (source_guard, target_guard)
-        if key not in agreement_cache:
-            agreement_cache[key] = agree(source_guard, target_guard, normalised.k)
-        return agreement_cache[key]
+        return agreement(source_guard, target_guard, normalised.k)
 
     projected = RegisterAutomaton(
         m,

@@ -41,6 +41,7 @@ from repro.logic.types import SigmaType
 from repro.ltl.ltlfo import LtlFoSentence, proposition_assignment
 from repro.ltl.syntax import Not_, satisfies
 from repro.ltl.translation import ltl_to_buchi
+from repro.core.caching import ValueCache
 from repro.core.emptiness import (
     EmptinessWitness,
     _normalize_for_analysis,
@@ -161,13 +162,14 @@ def verify(
     negated, _props = ltl_to_buchi(Not_(grounded.skeleton))
 
     # Lift the property automaton to read (state, guard) letters directly.
-    assignment_cache: Dict[SigmaType, FrozenSet[str]] = {}
+    # Local to this call: the assignments depend on *grounded*.
+    assignment_cache = ValueCache("verification.assignment")
 
     def assignment(pair) -> FrozenSet[str]:
         guard = pair[1]
-        if guard not in assignment_cache:
-            assignment_cache[guard] = proposition_assignment(grounded, guard)
-        return assignment_cache[guard]
+        return assignment_cache.lookup(
+            guard, lambda: proposition_assignment(grounded, guard)
+        )
 
     letters = {pair for pair in trace_buchi.symbols()}
     lifted_transitions: Dict = {}

@@ -48,8 +48,67 @@ def evaluate_literal(literal: Literal, database: Database, valuation: Valuation)
     return value if literal.positive else not value
 
 
+# Memoization of equality-type evaluation.  A type with no relational
+# literals and no constants is a pure equality constraint on its variables:
+# its truth depends only on *which variable values coincide*, not on the
+# database or the values themselves.  Such evaluations are therefore cached
+# per type under the valuation's equality pattern -- the tuple mapping each
+# variable (in a fixed order, the "shape") to the first-occurrence index of
+# its value.  Both the shape and the pattern memo live on the type instance
+# itself (``SigmaType`` carries ``__dict__`` precisely for such caches, cf.
+# ``closure``), so the hot path never hashes or compares whole types and
+# entries die with the type.  Stats are imported lazily: ``repro.core``
+# transitively imports this module, so a top-level import would be circular.
+_EVAL_STATS = None
+
+
+def _eval_stats():
+    global _EVAL_STATS
+    if _EVAL_STATS is None:
+        from repro.core.caching import cache_stats
+
+        _EVAL_STATS = cache_stats("db.evaluate_type")
+    return _EVAL_STATS
+
+
+def _guard_shape(delta: SigmaType):
+    """The ordered variable tuple of a database-free type, else ``None``."""
+    try:
+        return delta.__dict__["_evaluation_shape"]
+    except KeyError:
+        if delta.constants or not delta.is_equality_type():
+            shape = None
+        else:
+            shape = tuple(sorted(delta.variables, key=repr))
+        delta.__dict__["_evaluation_shape"] = shape
+        return shape
+
+
 def evaluate_type(delta: SigmaType, database: Database, valuation: Valuation) -> bool:
     """Whether ``D |= delta(valuation)``: all literals hold."""
+    shape = _guard_shape(delta)
+    if shape is not None:
+        try:
+            values = [valuation[variable] for variable in shape]
+        except KeyError:
+            pass  # incomplete valuation: the direct path raises the right error
+        else:
+            first: Dict = {}
+            pattern = tuple(first.setdefault(v, len(first)) for v in values)
+            memo = delta.__dict__.get("_evaluation_memo")
+            if memo is None:
+                memo = delta.__dict__["_evaluation_memo"] = {}
+            stats = _eval_stats()
+            if pattern in memo:
+                stats.hit()
+                return memo[pattern]
+            stats.miss()
+            result = all(
+                evaluate_literal(l, database, valuation) for l in delta.literals
+            )
+            memo[pattern] = result
+            stats.note_entries(len(memo))
+            return result
     return all(evaluate_literal(l, database, valuation) for l in delta.literals)
 
 

@@ -1,5 +1,8 @@
 """Shared fixtures: the paper's worked examples as reusable automata."""
 
+import os
+import random
+
 import pytest
 
 from repro import (
@@ -17,6 +20,19 @@ from repro import (
     nrel,
 )
 from repro.automata.regex import concat, literal, plus, star
+
+
+def pytest_collection_modifyitems(config, items):
+    """Shuffle test order when ``REPRO_TEST_SHUFFLE`` is set to a seed.
+
+    CI runs the suite twice -- in file order and shuffled -- so that any
+    hidden coupling through module-level state (the class of bug behind
+    the old id-keyed dead-state cache) surfaces as an order-dependent
+    failure instead of a rare flake.
+    """
+    seed = os.environ.get("REPRO_TEST_SHUFFLE")
+    if seed:
+        random.Random(int(seed)).shuffle(items)
 
 
 @pytest.fixture
