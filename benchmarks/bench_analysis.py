@@ -1,0 +1,86 @@
+"""Analysis throughput: the diagnostics engine must stay off the hot path.
+
+Runs the full registered pass set over random register automata on a
+states x transitions grid and reports per-automaton analysis cost and the
+findings breakdown.  Generated automata are valid by construction, so the
+reports must carry no ERROR diagnostics -- the benchmark doubles as a
+large-sample soundness check for the passes.
+
+Expected shape: cost grows roughly linearly with the transition count
+(each pass is a linear sweep or a BFS; the completeness pass is quadratic
+in the per-guard vocabulary but the vocabulary is fixed at k=2 here).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import Severity, analyze
+from repro.generators import random_register_automaton
+
+from _tables import register_table
+
+ROWS = []
+
+GRID = [
+    (4, 8),
+    (8, 24),
+    (16, 64),
+    (32, 160),
+]
+
+
+@pytest.mark.parametrize("n_states,n_transitions", GRID)
+def test_analysis_throughput(benchmark, n_states, n_transitions):
+    rng = random.Random(20260807 + n_states)
+    automata = [
+        random_register_automaton(
+            rng, k=2, n_states=n_states, n_transitions=n_transitions
+        )
+        for _ in range(5)
+    ]
+
+    def run_all():
+        return [analyze(automaton) for automaton in automata]
+
+    reports = benchmark(run_all)
+    for report in reports:
+        assert report.ok, report.render()
+    findings = sum(len(r) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    ROWS.append(
+        (
+            "%d x %d" % (n_states, n_transitions),
+            len(automata),
+            findings,
+            warnings,
+            findings - warnings,  # the rest is INFO on valid automata
+        )
+    )
+
+
+def test_analysis_scales_with_guard_reuse(benchmark):
+    """State-driven outputs share guards heavily; analysis must not re-pay."""
+    rng = random.Random(99)
+    automaton = random_register_automaton(rng, k=2, n_states=6, n_transitions=18)
+    converted = automaton.state_driven()
+
+    report = benchmark(lambda: analyze(converted))
+    assert report.ok
+    assert not any(d.code == "RA140" for d in report)
+    ROWS.append(
+        (
+            "state-driven |Q|=%d" % len(converted.states),
+            1,
+            len(report),
+            len(report.warnings),
+            len(report.infos),
+        )
+    )
+
+
+register_table(
+    "Analysis throughput (k=2 random automata)",
+    ["grid (states x transitions)", "automata", "findings", "warnings", "infos"],
+    ROWS,
+)

@@ -1,0 +1,67 @@
+"""Static analysis: diagnostics over automata, guards and workflow specs.
+
+The paper's constructions assume structural invariants -- satisfiable
+sigma-type guards (Section 2 *requires* types to be satisfiable), complete
+transition relations (Example 2), state-driven control (Example 3),
+registers that are actually constrained (otherwise projection is vacuous)
+-- that would otherwise only surface as failures deep inside a
+construction.  This package checks them up front:
+
+* :mod:`repro.analysis.engine` -- the :class:`AnalysisPass` registry and
+  the :func:`analyze` entry point producing a
+  :class:`~repro.foundations.diagnostics.Report`;
+* :mod:`repro.analysis.passes_automata` -- register-automaton passes
+  (``RA...`` codes);
+* :mod:`repro.analysis.passes_guards` -- sigma-type passes (``GT...``);
+* :mod:`repro.analysis.passes_workflows` -- workflow-spec passes
+  (``WF...``);
+* :mod:`repro.analysis.passes_finite` -- DFA/NFA passes (``FA...`` /
+  ``NF...``);
+* :mod:`repro.analysis.cli` -- the ``python -m repro.analysis`` front end.
+
+Diagnostic codes, severities and the how-to for adding a pass live in
+``docs/ANALYSIS.md``.
+
+Quick use::
+
+    from repro.analysis import analyze
+    report = analyze(automaton)
+    assert report.ok, report.render()
+"""
+
+from repro.foundations.diagnostics import (
+    Diagnostic,
+    Report,
+    Severity,
+    merge_reports,
+)
+
+from repro.analysis.engine import (
+    AnalysisPass,
+    analysis_pass,
+    analyze,
+    is_clean,
+    passes_for,
+    register_pass,
+    registered_passes,
+)
+
+# Importing the pass modules registers their passes as a side effect.
+from repro.analysis import passes_automata  # noqa: F401  (registration)
+from repro.analysis import passes_finite  # noqa: F401  (registration)
+from repro.analysis import passes_guards  # noqa: F401  (registration)
+from repro.analysis import passes_workflows  # noqa: F401  (registration)
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "Report",
+    "merge_reports",
+    "AnalysisPass",
+    "analysis_pass",
+    "register_pass",
+    "registered_passes",
+    "passes_for",
+    "analyze",
+    "is_clean",
+]

@@ -1,0 +1,147 @@
+"""Command-line front end: ``python -m repro.analysis <target> ...``.
+
+A *target* is a path to a Python script (e.g. ``examples/quickstart.py``)
+or a dotted module name.  The CLI executes the target with lightweight
+instrumentation that records every :class:`RegisterAutomaton`,
+:class:`WorkflowSpec`, :class:`Dfa` and :class:`Nfa` constructed along the
+way -- including the intermediates the library builds internally -- then
+runs every registered analysis pass over each recorded object and renders
+one merged report per target.
+
+Exit status is nonzero when any ERROR-severity diagnostic was produced
+(or any WARNING, under ``--strict``), so the command slots directly into
+CI: ``for f in examples/*.py; do python -m repro.analysis "$f"; done``.
+"""
+
+import argparse
+import contextlib
+import io
+import runpy
+import sys
+from functools import wraps
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.automata.dfa import Dfa
+from repro.automata.nfa import Nfa
+from repro.core.register_automaton import RegisterAutomaton
+from repro.foundations.diagnostics import Report, Severity, error, merge_reports
+from repro.workflows.spec import WorkflowSpec
+
+from repro.analysis.engine import analyze
+
+#: The classes the CLI instruments.  Order fixes report grouping.
+CAPTURED_CLASSES: Tuple[type, ...] = (RegisterAutomaton, WorkflowSpec, Dfa, Nfa)
+
+
+@contextlib.contextmanager
+def capture_instances(classes: Sequence[type] = CAPTURED_CLASSES) -> Iterator[List]:
+    """Temporarily record every instance the given classes construct.
+
+    Yields the (live, append-only) list of instances.  Restores the
+    original ``__init__`` methods on exit, even when the monitored code
+    raises.
+    """
+    captured: List = []
+    originals = []
+
+    def instrument(cls: type) -> None:
+        original = cls.__init__
+
+        @wraps(original)
+        def recording_init(self, *args, **kwargs):
+            original(self, *args, **kwargs)
+            if type(self) is cls:  # subclasses record under their own entry, once
+                captured.append(self)
+
+        originals.append((cls, original))
+        cls.__init__ = recording_init
+
+    for cls in classes:
+        instrument(cls)
+    try:
+        yield captured
+    finally:
+        for cls, original in originals:
+            cls.__init__ = original
+
+
+def _execute_target(target: str) -> None:
+    """Run a script path or dotted module under ``__main__`` semantics."""
+    saved_argv = sys.argv
+    sys.argv = [target]
+    try:
+        if target.endswith(".py"):
+            runpy.run_path(target, run_name="__main__")
+        else:
+            runpy.run_module(target, run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+def analyze_target(target: str, echo: bool = False) -> Report:
+    """Execute *target* and analyze everything it constructs."""
+    sink = io.StringIO()
+    with capture_instances() as captured:
+        try:
+            if echo:
+                _execute_target(target)
+            else:
+                with contextlib.redirect_stdout(sink):
+                    _execute_target(target)
+        except SystemExit as stop:
+            if stop.code not in (None, 0):
+                return Report(
+                    target,
+                    [error("XX001", "target exited with status %r" % (stop.code,))],
+                )
+        except BaseException as failure:
+            return Report(
+                target,
+                [
+                    error(
+                        "XX001",
+                        "target crashed before analysis: %s: %s"
+                        % (type(failure).__name__, failure),
+                    )
+                ],
+            )
+    counters = {cls.__name__: 0 for cls in CAPTURED_CLASSES}
+    reports = []
+    for obj in captured:
+        label = type(obj).__name__
+        counters[label] = counters.get(label, 0) + 1
+        reports.append(analyze(obj, subject="%s#%d" % (label, counters[label])))
+    merged = merge_reports(target, reports)
+    return merged
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the repro diagnostic passes over everything a "
+        "script or module constructs.",
+    )
+    parser.add_argument("targets", nargs="+", help="script paths or dotted module names")
+    parser.add_argument(
+        "--strict", action="store_true", help="exit nonzero on warnings too"
+    )
+    parser.add_argument(
+        "--show-info",
+        action="store_true",
+        help="include INFO findings in the rendered report",
+    )
+    parser.add_argument(
+        "--echo",
+        action="store_true",
+        help="let the target's own stdout through instead of swallowing it",
+    )
+    options = parser.parse_args(argv)
+    min_render = Severity.INFO if options.show_info else Severity.WARNING
+    fail_at = Severity.WARNING if options.strict else Severity.ERROR
+    exit_code = 0
+    for target in options.targets:
+        report = analyze_target(target, echo=options.echo)
+        print(report.render(min_severity=min_render))
+        if any(d.severity >= fail_at for d in report):
+            exit_code = 1
+    return exit_code

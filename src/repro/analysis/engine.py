@@ -1,0 +1,139 @@
+"""The pass registry and the :func:`analyze` entry point.
+
+An :class:`AnalysisPass` inspects one kind of object (register automata,
+guards, workflow specs, finite automata) and yields
+:class:`~repro.foundations.diagnostics.Diagnostic` findings.  Passes are
+registered globally with :func:`register_pass` (or the
+:func:`analysis_pass` decorator for function-style passes) and selected by
+``isinstance`` against their ``target`` type, so adding support for a new
+object kind is one module with a few registrations -- see
+``docs/ANALYSIS.md``.
+
+:func:`analyze` runs every applicable pass and folds the findings into a
+:class:`~repro.foundations.diagnostics.Report`.  A pass that raises does
+not abort the analysis: the failure becomes an ``XX000`` error diagnostic
+(an analysis bug is still a finding, not a crash).
+"""
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.foundations.diagnostics import Diagnostic, Report, Severity, error
+
+
+class AnalysisPass:
+    """One diagnostic check over one kind of object.
+
+    Subclasses (or :func:`analysis_pass`-wrapped functions) provide:
+
+    * ``name`` -- a short slug (``"guard-sat"``) used in pass selection,
+    * ``target`` -- the type of object the pass understands,
+    * ``codes`` -- the diagnostic codes the pass may emit (documentation
+      and test surface; the engine does not enforce it),
+    * :meth:`run` -- yields the findings for one object.
+    """
+
+    name: str = ""
+    target: type = object
+    codes: Tuple[str, ...] = ()
+
+    def applicable(self, obj: object) -> bool:
+        return isinstance(obj, self.target)
+
+    def run(self, obj: object) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "AnalysisPass(%s -> %s)" % (self.name, self.target.__name__)
+
+
+class _FunctionPass(AnalysisPass):
+    def __init__(
+        self,
+        fn: Callable[[object], Iterable[Diagnostic]],
+        name: str,
+        target: type,
+        codes: Tuple[str, ...],
+    ):
+        self.fn = fn
+        self.name = name
+        self.target = target
+        self.codes = codes
+
+    def run(self, obj: object) -> Iterable[Diagnostic]:
+        return self.fn(obj)
+
+
+_PASSES: List[AnalysisPass] = []
+
+
+def register_pass(pass_: AnalysisPass) -> AnalysisPass:
+    """Add *pass_* to the global registry (idempotent per pass name/target)."""
+    for existing in _PASSES:
+        if existing.name == pass_.name and existing.target is pass_.target:
+            return existing
+    _PASSES.append(pass_)
+    return pass_
+
+
+def analysis_pass(name: str, target: type, codes: Sequence[str] = ()):
+    """Decorator registering a generator function as an analysis pass."""
+
+    def decorate(fn: Callable[[object], Iterable[Diagnostic]]) -> AnalysisPass:
+        return register_pass(_FunctionPass(fn, name, target, tuple(codes)))
+
+    return decorate
+
+
+def registered_passes(target: Optional[type] = None) -> Tuple[AnalysisPass, ...]:
+    """All registered passes, optionally filtered by exact target type."""
+    if target is None:
+        return tuple(_PASSES)
+    return tuple(p for p in _PASSES if p.target is target)
+
+
+def passes_for(obj: object) -> Tuple[AnalysisPass, ...]:
+    """The registered passes applicable to *obj*, in registration order."""
+    return tuple(p for p in _PASSES if p.applicable(obj))
+
+
+def analyze(
+    obj: object,
+    passes: Optional[Iterable[AnalysisPass]] = None,
+    subject: str = "",
+    only: Optional[Iterable[str]] = None,
+) -> Report:
+    """Run every applicable pass over *obj* and collect a :class:`Report`.
+
+    Parameters
+    ----------
+    passes:
+        Explicit passes to run (defaults to the registered passes
+        applicable to *obj*).
+    subject:
+        Report label (defaults to the object's ``repr``).
+    only:
+        When given, keep only the passes whose ``name`` is listed.
+    """
+    selected = tuple(passes) if passes is not None else passes_for(obj)
+    if only is not None:
+        wanted = set(only)
+        selected = tuple(p for p in selected if p.name in wanted)
+    report = Report(subject or repr(obj))
+    for pass_ in selected:
+        try:
+            report.extend(pass_.run(obj))
+        except Exception as failure:  # an analysis bug is a finding too
+            report.add(
+                error(
+                    "XX000",
+                    "pass %r crashed: %s: %s"
+                    % (pass_.name, type(failure).__name__, failure),
+                )
+            )
+    return report
+
+
+def is_clean(obj: object, min_severity: Severity = Severity.ERROR) -> bool:
+    """Whether analysis of *obj* yields nothing at or above *min_severity*."""
+    report = analyze(obj)
+    return not any(d.severity >= min_severity for d in report)

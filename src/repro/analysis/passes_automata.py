@@ -1,0 +1,224 @@
+"""Analysis passes over :class:`~repro.core.register_automaton.RegisterAutomaton`.
+
+Code blocks (see ``docs/ANALYSIS.md`` for the full table):
+
+* ``RA0xx`` -- structural well-formedness, shared verbatim with
+  construction-time validation via
+  :meth:`RegisterAutomaton.structural_diagnostics`;
+* ``RA10x`` -- guard satisfiability (congruence closure);
+* ``RA11x`` -- control-flow liveness (unreachable / dead states, vacuous
+  Buchi acceptance);
+* ``RA12x`` -- register liveness (registers no guard ever constrains);
+* ``RA13x`` -- completeness relative to Example 2's normal form;
+* ``RA14x`` -- determinism relative to Example 3's state-driven form.
+"""
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.core.register_automaton import RegisterAutomaton, State
+from repro.foundations.diagnostics import Diagnostic, error, info, warning
+from repro.logic.closure import EqualityClosure
+from repro.logic.terms import X, Y
+
+from repro.analysis.engine import analysis_pass
+
+#: Obligation budget above which the completeness pass refuses to enumerate
+#: (the check is exponential in the vocabulary; Example 2's blow-up).
+COMPLETENESS_OBLIGATION_CAP = 20_000
+
+
+@analysis_pass(
+    "structure",
+    RegisterAutomaton,
+    codes=("RA001", "RA002", "RA003", "RA004", "RA005", "RA006"),
+)
+def structure_pass(automaton: RegisterAutomaton) -> Iterable[Diagnostic]:
+    """Re-run the construction-time structural validation (one codepath)."""
+    return automaton.structural_diagnostics()
+
+
+@analysis_pass("guard-sat", RegisterAutomaton, codes=("RA101",))
+def guard_satisfiability_pass(automaton: RegisterAutomaton) -> Iterator[Diagnostic]:
+    """Unsatisfiable guards, re-derived from the congruence closure.
+
+    ``SigmaType`` verifies satisfiability at construction unless built with
+    ``check=False``; this pass closes that hole by re-running the
+    union-find closure on every distinct guard.
+    """
+    seen = set()
+    for transition in automaton.transitions:
+        guard = transition.guard
+        if guard in seen:
+            continue
+        seen.add(guard)
+        if not EqualityClosure(guard.literals).is_consistent():
+            yield error(
+                "RA101",
+                "guard %s is unsatisfiable: no transition on it can ever fire"
+                % guard.pretty(),
+                repr(transition),
+            )
+
+
+def _forward_reachable(automaton: RegisterAutomaton) -> Set[State]:
+    seen: Set[State] = set(automaton.initial)
+    frontier: List[State] = list(seen)
+    while frontier:
+        state = frontier.pop()
+        for transition in automaton.transitions_from(state):
+            if transition.target not in seen:
+                seen.add(transition.target)
+                frontier.append(transition.target)
+    return seen
+
+
+def _coaccessible(automaton: RegisterAutomaton) -> Set[State]:
+    """States from which some accepting state is reachable."""
+    predecessors: Dict[State, List[State]] = {}
+    for transition in automaton.transitions:
+        predecessors.setdefault(transition.target, []).append(transition.source)
+    live: Set[State] = set(automaton.accepting)
+    frontier: List[State] = list(live)
+    while frontier:
+        state = frontier.pop()
+        for predecessor in predecessors.get(state, ()):
+            if predecessor not in live:
+                live.add(predecessor)
+                frontier.append(predecessor)
+    return live
+
+
+@analysis_pass(
+    "control-liveness", RegisterAutomaton, codes=("RA110", "RA111", "RA112")
+)
+def control_liveness_pass(automaton: RegisterAutomaton) -> Iterator[Diagnostic]:
+    """Unreachable states, dead states, vacuous Buchi acceptance.
+
+    Uses the precomputed :class:`~repro.core.caching.AutomatonIndex`
+    transition tables for the forward sweep, so repeated analysis of the
+    same automaton does not rebuild adjacency.
+    """
+    if not automaton.accepting:
+        yield warning(
+            "RA112",
+            "no accepting states: the Buchi acceptance condition is "
+            "unsatisfiable, the language is empty",
+        )
+    reachable = _forward_reachable(automaton)
+    live = _coaccessible(automaton)
+    for state in sorted(automaton.states - reachable, key=repr):
+        yield warning(
+            "RA110",
+            "state is unreachable from the initial states",
+            "state %r" % (state,),
+        )
+    for state in sorted((automaton.states & reachable) - live, key=repr):
+        yield warning(
+            "RA111",
+            "state is dead: no accepting state is reachable from it",
+            "state %r" % (state,),
+        )
+    if automaton.accepting and not (reachable & live):
+        yield warning(
+            "RA112",
+            "no accepting state is reachable: the language is empty",
+        )
+
+
+@analysis_pass("register-liveness", RegisterAutomaton, codes=("RA120",))
+def register_liveness_pass(automaton: RegisterAutomaton) -> Iterator[Diagnostic]:
+    """Registers never constrained by any guard.
+
+    A register that no guard mentions (neither its ``x`` nor its ``y``
+    variable) carries arbitrary values; projecting onto it (Theorem 13 /
+    24) yields a vacuous view, so its presence is almost always a spec
+    mistake or a leftover of a widening construction.
+    """
+    mentioned = set()
+    for transition in automaton.transitions:
+        mentioned.update(transition.guard.variables)
+    for index in range(1, automaton.k + 1):
+        if X(index) not in mentioned and Y(index) not in mentioned:
+            yield warning(
+                "RA120",
+                "register %d is never constrained by any guard; projection "
+                "onto it is vacuous" % index,
+            )
+
+
+def _completion_obligation_count(automaton: RegisterAutomaton) -> int:
+    variables, constants = automaton.guard_vocabulary()
+    terms = len(variables) + len(constants)
+    count = len(variables) * (len(variables) - 1) // 2 + len(variables) * len(constants)
+    for arity in automaton.signature.relations.values():
+        count += terms ** arity
+    return count
+
+
+@analysis_pass("completeness", RegisterAutomaton, codes=("RA130", "RA131", "RA139"))
+def completeness_pass(automaton: RegisterAutomaton) -> Iterator[Diagnostic]:
+    """Completeness relative to Example 2's normal form (informational).
+
+    Reports guards that leave an equality or relational atom unsettled;
+    ``completed()`` / ``equality_completed()`` outputs are certified clean.
+    The full check enumerates every atom over the vocabulary (exponential
+    in relation arity), so it bails out with ``RA139`` past
+    :data:`COMPLETENESS_OBLIGATION_CAP` obligations per guard.
+    """
+    if _completion_obligation_count(automaton) > COMPLETENESS_OBLIGATION_CAP:
+        yield info(
+            "RA139",
+            "completeness not checked: the vocabulary implies more than "
+            "%d obligations per guard (Example 2's exponential blow-up)"
+            % COMPLETENESS_OBLIGATION_CAP,
+        )
+        return
+    variables, constants = automaton.guard_vocabulary()
+    relations = automaton.signature.relations
+    for guard in sorted(
+        {t.guard for t in automaton.transitions}, key=lambda g: g.canonical_literals
+    ):
+        if not guard.is_complete(relations, variables, constants):
+            if guard.is_complete({}, variables, constants):
+                yield info(
+                    "RA131",
+                    "guard %s is equality-complete but leaves relational "
+                    "atoms unsettled" % guard.pretty(),
+                )
+            else:
+                yield info(
+                    "RA130",
+                    "guard %s is not complete; completion (Example 2) would "
+                    "split it" % guard.pretty(),
+                )
+
+
+@analysis_pass("determinism", RegisterAutomaton, codes=("RA140", "RA141"))
+def determinism_pass(automaton: RegisterAutomaton) -> Iterator[Diagnostic]:
+    """Determinism relative to Example 3's state-driven form (informational).
+
+    ``RA140`` flags states firing several distinct guards (the automaton is
+    not state-driven there; ``state_driven()`` outputs are certified
+    clean); ``RA141`` flags genuine nondeterminism -- one (state, guard)
+    pair branching to several targets, which ``state_driven()`` preserves.
+    """
+    for state in sorted(automaton.states, key=repr):
+        guards = automaton.guards_from(state)
+        if len(guards) > 1:
+            yield info(
+                "RA140",
+                "state fires %d distinct guards; the automaton is not "
+                "state-driven here (Example 3)" % len(guards),
+                "state %r" % (state,),
+            )
+        for guard in guards:
+            targets = {
+                t.target for t in automaton.transitions_with_guard(state, guard)
+            }
+            if len(targets) > 1:
+                yield info(
+                    "RA141",
+                    "guard %s branches nondeterministically to %d targets"
+                    % (guard.pretty(), len(targets)),
+                    "state %r" % (state,),
+                )

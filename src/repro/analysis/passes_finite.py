@@ -1,0 +1,71 @@
+"""Analysis passes over the finite-automaton substrate (:class:`Dfa`, :class:`Nfa`).
+
+* ``FA001`` -- DFA states unreachable from the initial state;
+* ``FA002`` -- DFA states from which no accepting state is reachable
+  (computed via the cached :func:`repro.core.caching.dead_states` sweep,
+  so analysis shares work with the streaming checker);
+* ``FA003`` -- the DFA's language is empty;
+* ``NF001`` -- NFA states unreachable from the initial states;
+* ``NF002`` -- the NFA's language is empty.
+
+All findings here are INFO severity: because :class:`Dfa` is total, any
+non-universal language forces a dead sink state, and empty languages are
+the *expected* outcome of the difference products that implement
+equivalence checking -- so none of these conditions is evidence of a bug
+by itself.  Callers vetting a hand-written constraint DFA should read the
+full report (``analyze(dfa).render()`` shows INFO findings by default).
+"""
+
+from typing import Iterator, Set
+
+from repro.automata.dfa import Dfa
+from repro.automata.nfa import Nfa
+from repro.core.caching import dead_states
+from repro.foundations.diagnostics import Diagnostic, info
+
+from repro.analysis.engine import analysis_pass
+
+
+@analysis_pass("dfa-liveness", Dfa, codes=("FA001", "FA002", "FA003"))
+def dfa_liveness_pass(dfa: Dfa) -> Iterator[Diagnostic]:
+    reachable = dfa.reachable_states()
+    dead = dead_states(dfa)
+    for state in sorted(dfa.states - reachable, key=repr):
+        yield info(
+            "FA001", "state is unreachable from the initial state", "state %r" % (state,)
+        )
+    for state in sorted(reachable & dead, key=repr):
+        yield info(
+            "FA002",
+            "state is dead: no accepting state is reachable from it",
+            "state %r" % (state,),
+        )
+    if dfa.initial in dead:
+        yield info("FA003", "the language is empty (the initial state is dead)")
+
+
+def _nfa_reachable(nfa: Nfa) -> Set[int]:
+    reachable = set(nfa.epsilon_closure(nfa.initial))
+    symbols = nfa.symbols()
+    frontier = list(reachable)
+    while frontier:
+        chunk, frontier = frontier, []
+        for symbol in symbols:
+            for state in nfa.step(chunk, symbol):
+                if state not in reachable:
+                    reachable.add(state)
+                    frontier.append(state)
+    return reachable
+
+
+@analysis_pass("nfa-liveness", Nfa, codes=("NF001", "NF002"))
+def nfa_liveness_pass(nfa: Nfa) -> Iterator[Diagnostic]:
+    reachable = _nfa_reachable(nfa)
+    for state in sorted(nfa.states() - reachable, key=repr):
+        yield info(
+            "NF001",
+            "state is unreachable from the initial states",
+            "state %r" % (state,),
+        )
+    if not reachable & nfa.accepting:
+        yield info("NF002", "the language is empty (no accepting state reachable)")

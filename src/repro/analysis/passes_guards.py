@@ -1,0 +1,50 @@
+"""Analysis passes over :class:`~repro.logic.types.SigmaType` guards.
+
+* ``GT001`` -- the guard is unsatisfiable (congruence-closure conflict);
+  only reachable for types built with ``check=False``.
+* ``GT002`` -- a literal is entailed by the remaining literals (redundant;
+  harmless semantically but inflates completion and agreement work).
+* ``GT003`` -- a variable does not follow the ``x_i``/``y_i`` register
+  convention, so the guard cannot appear on any automaton transition.
+"""
+
+from typing import Iterator
+
+from repro.foundations.diagnostics import Diagnostic, error, info
+from repro.logic.closure import EqualityClosure
+from repro.logic.terms import register_index
+from repro.logic.types import SigmaType
+
+from repro.analysis.engine import analysis_pass
+
+
+@analysis_pass("guard-sat", SigmaType, codes=("GT001",))
+def guard_satisfiable_pass(guard: SigmaType) -> Iterator[Diagnostic]:
+    if not EqualityClosure(guard.literals).is_consistent():
+        yield error("GT001", "type %s is unsatisfiable" % guard.pretty())
+
+
+@analysis_pass("guard-redundancy", SigmaType, codes=("GT002",))
+def guard_redundancy_pass(guard: SigmaType) -> Iterator[Diagnostic]:
+    literals = guard.canonical_literals
+    if len(literals) < 2:
+        return
+    for literal in literals:
+        rest = [other for other in literals if other != literal]
+        if EqualityClosure(rest).entails_literal(literal):
+            yield info(
+                "GT002",
+                "literal %r is entailed by the remaining literals (redundant)"
+                % (literal,),
+            )
+
+
+@analysis_pass("guard-vocabulary", SigmaType, codes=("GT003",))
+def guard_vocabulary_pass(guard: SigmaType) -> Iterator[Diagnostic]:
+    for variable in sorted(guard.variables):
+        if register_index(variable) is None:
+            yield info(
+                "GT003",
+                "variable %r does not follow the x_i/y_i register convention"
+                % (variable,),
+            )

@@ -20,6 +20,7 @@ from functools import cached_property
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from repro.db.schema import Signature
+from repro.foundations.diagnostics import Diagnostic, error
 from repro.foundations.errors import SpecificationError
 from repro.logic.terms import Const, Var, register_index, x_vars, y_vars
 from repro.logic.types import SigmaType
@@ -102,31 +103,66 @@ class RegisterAutomaton:
         self._validate()
 
     def _validate(self) -> None:
-        if not self._initial <= self._states:
-            raise SpecificationError("initial states must be states")
-        if not self._accepting <= self._states:
-            raise SpecificationError("accepting states must be states")
+        diagnostics = self.structural_diagnostics()
+        if diagnostics:
+            raise SpecificationError.from_diagnostics(diagnostics)
+
+    def structural_diagnostics(self) -> List[Diagnostic]:
+        """Structural well-formedness findings, as stable-coded diagnostics.
+
+        This is the single codepath behind both construction-time
+        validation (:class:`SpecificationError` raised with these
+        diagnostics attached) and the ``structure`` pass of
+        :mod:`repro.analysis`.  An automaton built through the public
+        constructor is clean by construction; the analysis pass re-checks
+        so that automata assembled by other means (deserialisation,
+        subclass shortcuts) get the same scrutiny.
+        """
+        diagnostics: List[Diagnostic] = []
+        for state in sorted(self._initial - self._states, key=repr):
+            diagnostics.append(
+                error("RA001", "initial state %r is not a state" % (state,))
+            )
+        for state in sorted(self._accepting - self._states, key=repr):
+            diagnostics.append(
+                error("RA002", "accepting state %r is not a state" % (state,))
+            )
         constants = set(self._signature.const_terms())
         register_vars = set(x_vars(self._k)) | set(y_vars(self._k))
         for transition in self._transitions:
+            location = repr(transition)
             if transition.source not in self._states or transition.target not in self._states:
-                raise SpecificationError("transition %r uses unknown states" % (transition,))
+                diagnostics.append(
+                    error("RA003", "transition uses unknown states", location)
+                )
             guard = transition.guard
-            for variable in guard.variables:
+            for variable in sorted(guard.variables):
                 decomposed = register_index(variable)
                 if decomposed is None or variable not in register_vars:
-                    raise SpecificationError(
-                        "guard variable %r of %r is not a register variable "
-                        "x1..x%d / y1..y%d" % (variable, transition, self._k, self._k)
+                    diagnostics.append(
+                        error(
+                            "RA004",
+                            "guard variable %r is not a register variable "
+                            "x1..x%d / y1..y%d" % (variable, self._k, self._k),
+                            location,
+                        )
                     )
-            for constant in guard.constants:
+            for constant in sorted(guard.constants):
                 if constant not in constants:
-                    raise SpecificationError(
-                        "guard constant %r of %r is not declared in the signature"
-                        % (constant, transition)
+                    diagnostics.append(
+                        error(
+                            "RA005",
+                            "guard constant %r is not declared in the signature"
+                            % (constant,),
+                            location,
+                        )
                     )
             for literal in guard.relational_literals():
-                self._signature.validate_atom(literal.atom)
+                try:
+                    self._signature.validate_atom(literal.atom)
+                except SpecificationError as failure:
+                    diagnostics.append(error("RA006", str(failure), location))
+        return diagnostics
 
     # ------------------------------------------------------------------ #
     # accessors

@@ -7,6 +7,7 @@ this realises the standing assumption that *"for every run there are
 infinitely many values in D that do not occur in it"*.
 """
 
+from repro.foundations.diagnostics import Diagnostic, Report, Severity, merge_reports
 from repro.foundations.domain import DataValue, FreshSupply, is_data_value
 from repro.foundations.errors import (
     EvaluationError,
@@ -23,4 +24,8 @@ __all__ = [
     "SpecificationError",
     "InconsistentTypeError",
     "EvaluationError",
+    "Severity",
+    "Diagnostic",
+    "Report",
+    "merge_reports",
 ]

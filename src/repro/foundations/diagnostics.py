@@ -1,0 +1,179 @@
+"""Structured diagnostics: the currency of the static-analysis layer.
+
+A :class:`Diagnostic` is one finding about one object -- an unsatisfiable
+guard, an unreachable stage, a register no guard ever constrains -- carrying
+a stable *code* (``RA102``, ``WF003``, ...), a :class:`Severity`, a human
+message and an optional location string.  A :class:`Report` is an ordered
+collection of diagnostics about one subject, with severity roll-ups and a
+plain-text table rendering for the CLI.
+
+This module lives in ``foundations`` (not in :mod:`repro.analysis`) on
+purpose: construction-time validation in :mod:`repro.core` emits the same
+diagnostics the analysis passes do, and core must not import the analysis
+package (which imports core).  See
+:meth:`repro.core.register_automaton.RegisterAutomaton.structural_diagnostics`
+and :class:`repro.foundations.errors.SpecificationError`.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.  Ordering is meaningful (ERROR > WARNING > INFO).
+
+    * ``ERROR`` -- the object violates an invariant the constructions rely
+      on (unsatisfiable guard, undeclared relation); using it is a bug.
+    * ``WARNING`` -- the object is well-formed but almost certainly not
+      what was meant (unreachable states, a vacuously empty language).
+    * ``INFO`` -- a property worth knowing when choosing a construction
+      (not complete, not state-driven) but expected on most inputs.
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR", in tables
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code, a severity, a message, a location.
+
+    ``code`` identifies the check (stable across releases, documented in
+    ``docs/ANALYSIS.md``); ``location`` narrows the finding inside the
+    analyzed object (a transition, a state, a rule) and may be empty.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    location: str = ""
+
+    def format(self) -> str:
+        """The one-line rendering used by exceptions and the CLI."""
+        where = " at %s" % self.location if self.location else ""
+        return "[%s] %s: %s%s" % (self.code, self.severity, self.message, where)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def error(code: str, message: str, location: str = "") -> Diagnostic:
+    return Diagnostic(code, Severity.ERROR, message, location)
+
+
+def warning(code: str, message: str, location: str = "") -> Diagnostic:
+    return Diagnostic(code, Severity.WARNING, message, location)
+
+
+def info(code: str, message: str, location: str = "") -> Diagnostic:
+    return Diagnostic(code, Severity.INFO, message, location)
+
+
+@dataclass
+class Report:
+    """The diagnostics gathered about one *subject* (a labelled object).
+
+    Reports are ordered (pass registration order, then finding order) and
+    support merging, so the CLI can fold the per-object reports of a whole
+    example script into one table.
+    """
+
+    subject: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "Report") -> None:
+        """Fold *other* into this report, prefixing its subject into locations."""
+        for diagnostic in other.diagnostics:
+            location = (
+                "%s: %s" % (other.subject, diagnostic.location)
+                if other.subject and diagnostic.location
+                else (other.subject or diagnostic.location)
+            )
+            self.add(
+                Diagnostic(diagnostic.code, diagnostic.severity, diagnostic.message, location)
+            )
+
+    # roll-ups ---------------------------------------------------------- #
+
+    def by_severity(self, severity: Severity) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the report carries no errors (warnings/infos allowed)."""
+        return not self.errors
+
+    def codes(self) -> Tuple[str, ...]:
+        """The distinct diagnostic codes present, in first-seen order."""
+        return tuple(dict.fromkeys(d.code for d in self.diagnostics))
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        # A Report is always truthy; use ``len`` / ``ok`` explicitly.  This
+        # guards against ``if report:`` silently meaning "has findings".
+        return True
+
+    # rendering --------------------------------------------------------- #
+
+    def render(self, min_severity: Severity = Severity.INFO) -> str:
+        """A plain-text table of the findings at or above *min_severity*."""
+        rows = [
+            (d.code, str(d.severity), d.location, d.message)
+            for d in self.diagnostics
+            if d.severity >= min_severity
+        ]
+        title = self.subject or "report"
+        if not rows:
+            return "%s: clean (no findings >= %s)" % (title, min_severity)
+        headers = ("code", "severity", "location", "message")
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+        rule = "  ".join("-" * w for w in widths)
+        body = "\n".join(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rows
+        )
+        summary = "%d error(s), %d warning(s), %d info" % (
+            len(self.errors),
+            len(self.warnings),
+            len(self.infos),
+        )
+        return "%s\n%s\n%s\n%s\n%s" % (title, line, rule, body, summary)
+
+
+def merge_reports(subject: str, reports: Sequence[Report]) -> Report:
+    """One report folding a sequence of per-object reports."""
+    merged = Report(subject)
+    for report in reports:
+        merged.merge(report)
+    return merged

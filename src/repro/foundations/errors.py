@@ -15,7 +15,24 @@ class SpecificationError(ReproError):
 
     Raised eagerly at construction time: the library validates inputs when
     objects are built so that algorithmic code can assume well-formedness.
+
+    Carries the structured :class:`~repro.foundations.diagnostics.Diagnostic`
+    findings (``diagnostics``, possibly empty) that triggered it, so that
+    construction-time validation and the :mod:`repro.analysis` passes share
+    one codepath: callers can match on stable diagnostic codes instead of
+    parsing the message.
     """
+
+    def __init__(self, message: str = "", diagnostics=()):
+        self.diagnostics = tuple(diagnostics)
+        if not message and self.diagnostics:
+            message = "; ".join(d.format() for d in self.diagnostics)
+        super().__init__(message)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics) -> "SpecificationError":
+        """An error whose message is the formatted diagnostic list."""
+        return cls(diagnostics=diagnostics)
 
 
 class InconsistentTypeError(SpecificationError):

@@ -143,6 +143,21 @@ class WorkflowSpec:
     def signature(self) -> Signature:
         return self._signature
 
+    @property
+    def stages(self) -> List[Stage]:
+        """The stages, in declaration order."""
+        return list(self._stages.values())
+
+    @property
+    def initial_stages(self) -> List[str]:
+        """The names of the initial stages."""
+        return list(self._initial)
+
+    @property
+    def rules(self) -> List[TransitionRule]:
+        """The transition rules, in declaration order."""
+        return list(self._rules)
+
     def rule(self, source: str, target: str) -> TransitionRule:
         """Start a new transition rule (returned for fluent condition calls)."""
         for name in (source, target):
@@ -152,9 +167,23 @@ class WorkflowSpec:
         self._rules.append(rule)
         return rule
 
+    @property
+    def distinct_attributes(self) -> bool:
+        """Whether every guard carries pairwise attribute disequalities."""
+        return self._distinct_attributes
+
     # ------------------------------------------------------------------ #
     # compilation
     # ------------------------------------------------------------------ #
+
+    def compile_rule(self, rule: TransitionRule) -> SigmaType:
+        """The guard *rule* compiles to, before distinctness literals.
+
+        Raises :class:`SpecificationError` on unknown attributes or
+        relations and :class:`InconsistentTypeError` on contradictory
+        conditions -- the granularity the analysis passes report at.
+        """
+        return self._compile_rule(rule)
 
     def register_of(self, attribute: str) -> int:
         """The register index (1-based) holding *attribute*."""

@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""AST-based repo linter: the project-specific rules CI enforces.
+
+Replaces the old ``grep -E '\\bid\\('`` CI step with a real parse, so the
+rules cannot be fooled by comments, strings or identifiers that merely end
+in ``id`` -- and extends the ruleset:
+
+* ``ID001`` -- call to the builtin ``id()``.  CPython recycles object ids
+  after garbage collection, so an id is never a sound cache or dedup key;
+  key caches by the object (weakly) or by value instead (see
+  ``src/repro/core/caching.py`` for the sanctioned patterns).
+* ``DEF001`` -- mutable default argument (``def f(x=[])`` and friends).
+  The default is evaluated once and shared across calls.
+* ``EXC001`` -- bare ``except:``.  Swallows ``KeyboardInterrupt`` and
+  ``SystemExit``; catch a concrete exception class instead.
+
+Usage::
+
+    python tools/lint_repro.py [path ...]     # default: src/
+
+Paths may be files or directories (directories are walked for ``*.py``,
+skipping ``__pycache__``).  Exit status 1 when any finding is reported.
+
+The module is importable (``iter_findings`` / ``lint_paths``) so the test
+suite runs the linter in-process against both fixtures and the real tree.
+"""
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, NamedTuple, Sequence
+
+
+class Finding(NamedTuple):
+    """One lint finding, formatted ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return "%s:%d:%d: %s %s" % (self.path, self.line, self.col, self.code, self.message)
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque")
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        callee = node.func
+        if isinstance(callee, ast.Name) and callee.id in _MUTABLE_CALLS:
+            return True
+        if isinstance(callee, ast.Attribute) and callee.attr in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+        self._id_shadowed = 0
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, node.lineno, node.col_offset, code, message)
+        )
+
+    # ID001 ------------------------------------------------------------- #
+
+    def _shadows_id(self, node) -> bool:
+        """Whether a function definition rebinds ``id`` as a parameter."""
+        arguments = node.args
+        names = [
+            a.arg
+            for a in (
+                list(arguments.posonlyargs)
+                + list(arguments.args)
+                + list(arguments.kwonlyargs)
+            )
+        ]
+        for extra in (arguments.vararg, arguments.kwarg):
+            if extra is not None:
+                names.append(extra.arg)
+        return "id" in names
+
+    def _visit_function(self, node) -> None:
+        shadowed = self._shadows_id(node)
+        self._check_defaults(node)
+        self._id_shadowed += shadowed
+        self.generic_visit(node)
+        self._id_shadowed -= shadowed
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        shadowed = self._shadows_id(node)
+        self._id_shadowed += shadowed
+        self.generic_visit(node)
+        self._id_shadowed -= shadowed
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = node.func
+        if (
+            isinstance(callee, ast.Name)
+            and callee.id == "id"
+            and not self._id_shadowed
+        ):
+            self._report(
+                node,
+                "ID001",
+                "call to builtin id(): object ids are recycled after garbage "
+                "collection and must never serve as cache/dedup keys",
+            )
+        self.generic_visit(node)
+
+    # DEF001 ------------------------------------------------------------ #
+
+    def _check_defaults(self, node) -> None:
+        arguments = node.args
+        for default in list(arguments.defaults) + [
+            d for d in arguments.kw_defaults if d is not None
+        ]:
+            if _is_mutable_default(default):
+                self._report(
+                    default,
+                    "DEF001",
+                    "mutable default argument: evaluated once and shared "
+                    "across calls; default to None and build inside",
+                )
+
+    # EXC001 ------------------------------------------------------------ #
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                node,
+                "EXC001",
+                "bare except: swallows KeyboardInterrupt/SystemExit; catch a "
+                "concrete exception class",
+            )
+        self.generic_visit(node)
+
+
+def iter_findings(source: str, path: str = "<string>") -> Iterator[Finding]:
+    """Lint one source text; syntax errors surface as a ``SYN001`` finding."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as failure:
+        yield Finding(
+            path, failure.lineno or 0, failure.offset or 0, "SYN001",
+            "file does not parse: %s" % failure.msg,
+        )
+        return
+    linter = _Linter(path)
+    linter.visit(tree)
+    yield from sorted(linter.findings)
+
+
+def _python_files(root: Path) -> Iterator[Path]:
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" not in path.parts:
+            yield path
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """All findings over the given files/directories, in path order."""
+    findings: List[Finding] = []
+    for entry in paths:
+        root = Path(entry)
+        if not root.exists():
+            findings.append(Finding(str(root), 0, 0, "SYN002", "path does not exist"))
+            continue
+        for path in _python_files(root):
+            findings.extend(iter_findings(path.read_text(), str(path)))
+    return findings
+
+
+def main(argv: Sequence[str] = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    targets = arguments or ["src"]
+    findings = lint_paths(targets)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print("%d finding(s)." % len(findings), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
