@@ -1,12 +1,14 @@
-"""Shared builders for the benchmark suite."""
+"""Shared builders for the benchmark suite.
 
+Run with ``PYTHONPATH=src`` (the repo convention -- see README.md); the
+``_tables`` helper resolves through pytest's rootdir insertion of this
+directory, so no ``sys.path`` surgery happens here.
+"""
+
+import os
 import random
-import sys
-from pathlib import Path
 
 import pytest
-
-sys.path.insert(0, str(Path(__file__).parent))
 
 from repro import (
     ExtendedAutomaton,
@@ -70,13 +72,23 @@ def rng():
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Print the experiment tables after the benchmark run."""
-    from _tables import REGISTRY, print_table
+    """Print the experiment tables, then write the BENCH_3.json report.
+
+    The report path defaults to ``BENCH_3.json`` in the invocation
+    directory and can be redirected with ``REPRO_BENCH_JSON`` (CI points
+    it at the artifact staging directory); setting it to the empty string
+    or ``0`` suppresses the file.
+    """
+    from _tables import REGISTRY, print_table, write_session_json
 
     for title, headers, rows in REGISTRY:
         if rows:
             print_table(title, headers, rows)
     _print_cache_effectiveness()
+    target = os.environ.get("REPRO_BENCH_JSON", "BENCH_3.json")
+    if target and target != "0":
+        write_session_json(target, session.config)
+        print("\nbenchmark report written to %s" % target)
 
 
 def _print_cache_effectiveness():

@@ -210,13 +210,28 @@ class BuchiAutomaton:
         """
         # Enumerate simple paths from initial states up to the prefix bound,
         # then simple cycles through accepting states up to the cycle bound.
+        # The sorted adjacency of a state is loop-invariant; computing it
+        # once per state (instead of at every path extension touching the
+        # state) keeps the enumeration order identical while removing the
+        # dominant repeated-sort cost.
+        adjacency: Dict[State, Tuple] = {}
+
+        def sorted_edges(state):
+            found = adjacency.get(state)
+            if found is None:
+                found = adjacency[state] = tuple(
+                    (symbol, tuple(sorted(targets, key=repr)))
+                    for symbol, targets in sorted(
+                        self._transitions.get(state, {}).items(),
+                        key=lambda kv: repr(kv[0]),
+                    )
+                )
+            return found
+
         def extend_paths(paths):
             for states_path, symbols_path in paths:
-                state = states_path[-1]
-                for symbol, targets in sorted(
-                    self._transitions.get(state, {}).items(), key=lambda kv: repr(kv[0])
-                ):
-                    for target in sorted(targets, key=repr):
+                for symbol, targets in sorted_edges(states_path[-1]):
+                    for target in targets:
                         yield states_path + (target,), symbols_path + (symbol,)
 
         prefixes = [((state,), ()) for state in sorted(self._initial, key=repr)]

@@ -19,11 +19,32 @@ centralises the discipline:
   effectiveness (hits, misses, evictions, peak entries) alongside timings.
 
 The hard rule enforced by CI: no cache in ``src/`` may key on object ids.
+
+**Key discipline after the hash-consing kernel** (PR 3).  The logic values
+that dominate cache keys -- ``SigmaType``, ``Literal``, terms -- are
+interned (:mod:`repro.foundations.interning`) and carry their hash from
+construction.  A ``ValueCache`` probe on such keys therefore costs an O(1)
+cached-hash mix plus (on the usual path) a pointer-identity comparison:
+value keying and identity keying have converged, without ever touching
+``id()``.  Correctness never depends on interning: a non-interned key
+(built under ``REPRO_INTERN=0`` or unpickled by other means) still hashes
+and compares structurally and hits the same entries.
+
+Stats live in :mod:`repro.foundations.stats` (so the interning layer below
+``repro.core`` can report into the same registry); this module re-exports
+them for backwards compatibility.
 """
 
 import weakref
 from functools import wraps
 from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.foundations.stats import (
+    CacheStats,
+    all_cache_stats,
+    cache_stats,
+    reset_cache_stats,
+)
 
 __all__ = [
     "CacheStats",
@@ -31,101 +52,12 @@ __all__ = [
     "all_cache_stats",
     "reset_cache_stats",
     "ValueCache",
+    "clear_value_caches",
     "cached_method",
     "AutomatonIndex",
     "dead_states",
     "agreement",
 ]
-
-
-# ---------------------------------------------------------------------- #
-# observability
-# ---------------------------------------------------------------------- #
-
-
-class CacheStats:
-    """Hit/miss/eviction counters for one named cache (or cache family).
-
-    Stats objects are shared by *name* through :func:`cache_stats`, so
-    short-lived cache instances (e.g. the per-call corridor cache of
-    Theorem 24) accumulate into one series that benchmarks can report.
-    """
-
-    __slots__ = ("name", "hits", "misses", "evictions", "peak_entries")
-
-    def __init__(self, name: str):
-        self.name = name
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.peak_entries = 0
-
-    def hit(self) -> None:
-        self.hits += 1
-
-    def miss(self) -> None:
-        self.misses += 1
-
-    def eviction(self) -> None:
-        self.evictions += 1
-
-    def note_entries(self, count: int) -> None:
-        """Record the current entry count; keeps the high-water mark."""
-        if count > self.peak_entries:
-            self.peak_entries = count
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Hits per lookup in [0, 1]; 0.0 before the first lookup."""
-        total = self.lookups
-        return self.hits / total if total else 0.0
-
-    def reset(self) -> None:
-        self.hits = self.misses = self.evictions = self.peak_entries = 0
-
-    def snapshot(self) -> Dict[str, float]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "peak_entries": self.peak_entries,
-            "hit_rate": self.hit_rate,
-        }
-
-    def __repr__(self) -> str:
-        return "CacheStats(%r, hits=%d, misses=%d, evictions=%d, peak=%d)" % (
-            self.name,
-            self.hits,
-            self.misses,
-            self.evictions,
-            self.peak_entries,
-        )
-
-
-_REGISTRY: Dict[str, CacheStats] = {}
-
-
-def cache_stats(name: str) -> CacheStats:
-    """The (singleton) stats object for the named cache; created on demand."""
-    stats = _REGISTRY.get(name)
-    if stats is None:
-        stats = _REGISTRY[name] = CacheStats(name)
-    return stats
-
-
-def all_cache_stats() -> Dict[str, Dict[str, float]]:
-    """Snapshots of every registered cache, keyed by cache name."""
-    return {name: stats.snapshot() for name, stats in sorted(_REGISTRY.items())}
-
-
-def reset_cache_stats() -> None:
-    """Zero every registered counter (the caches themselves are untouched)."""
-    for stats in _REGISTRY.values():
-        stats.reset()
 
 
 # ---------------------------------------------------------------------- #
@@ -140,16 +72,22 @@ class ValueCache:
     tuples of states, structural DFA fingerprints.  An optional *maxsize*
     bounds the table with FIFO eviction (insertion order), which is enough
     for the streaming workloads where old guard shapes stop recurring.
+
+    Every instance is tracked (weakly) so :func:`clear_value_caches` can
+    reset the lot -- the ablation benchmarks flip interning on and off and
+    must not let entries computed in one mode serve lookups in the other.
     """
 
-    __slots__ = ("_data", "_maxsize", "stats")
+    __slots__ = ("_data", "_maxsize", "stats", "__weakref__")
 
     _MISSING = object()
+    _instances: List["weakref.ref"] = []
 
     def __init__(self, name: str, maxsize: Optional[int] = None):
         self._data: Dict[Hashable, object] = {}
         self._maxsize = maxsize
         self.stats = cache_stats(name)
+        ValueCache._instances.append(weakref.ref(self))
 
     def lookup(self, key: Hashable, compute: Callable[[], object]) -> object:
         """The cached value for *key*, computing and storing it on a miss."""
@@ -175,6 +113,21 @@ class ValueCache:
 
     def clear(self) -> None:
         self._data.clear()
+
+
+def clear_value_caches() -> None:
+    """Empty every live :class:`ValueCache` (ablation/test isolation).
+
+    Stats counters are deliberately left alone -- this resets *state*, not
+    *observability*; pair with :func:`reset_cache_stats` when both matter.
+    """
+    live: List["weakref.ref"] = []
+    for ref in ValueCache._instances:
+        cache = ref()
+        if cache is not None:
+            cache.clear()
+            live.append(ref)
+    ValueCache._instances[:] = live
 
 
 def cached_method(name: Optional[str] = None, key: Optional[Callable] = None):
@@ -355,7 +308,11 @@ def agreement(delta_now, delta_next, k: int) -> bool:
     Guards compare structurally (``SigmaType`` implements value equality),
     so one shared table serves every construction that checks condition
     (iii) of symbolic control traces -- ``scontrol_buchi``, the projected-
-    transition filters of Theorem 13 and Theorem 24.
+    transition filters of Theorem 13 and Theorem 24.  With the interning
+    kernel the probe is effectively identity-keyed: both guards carry a
+    cached hash and equal guards are normally the same object, so the key
+    tuple hashes in O(1) and compares by pointer; non-interned guards fall
+    back to structural comparison and still hit the same entries.
     """
     from repro.logic.types import agree
 

@@ -1,0 +1,182 @@
+"""Process-parallel map with deterministic ordering (``REPRO_WORKERS``).
+
+The emptiness check enumerates candidate lassos and the projection
+pipeline builds one tracker DFA per register pair; both are
+embarrassingly parallel over *independent, picklable* work items whose
+answers must nevertheless come back in **enumeration order** -- the
+first realisable candidate in enumeration order wins regardless of
+which worker finishes first.  This module centralises that discipline:
+
+* :func:`worker_count` reads the ``REPRO_WORKERS`` environment variable
+  **at call time** (``0``/``1``/unset mean serial, anything larger is a
+  process count), so tests can flip it per-case;
+* :func:`imap_chunked` maps a picklable callable over an iterable in
+  chunks, yielding results lazily **in input order** with bounded
+  in-flight submission, and degrades to a plain in-process generator
+  when the effective worker count is 1 -- the serial path runs exactly
+  the code it always ran, with no executor, no pickling and no fork;
+* :func:`parallel_map` is the eager list form (used by the benchmark
+  grids).
+
+One executor is kept per process and recreated only when the requested
+worker count changes.  Workers are initialised with ``REPRO_WORKERS=1``
+so work items that themselves consult the knob (e.g. an emptiness check
+inside a benchmark grid cell) never spawn nested pools.
+
+Interned logic values (:mod:`repro.foundations.interning`) re-intern on
+unpickling in the worker, so identity-keyed caches stay sound on both
+sides of the process boundary.
+"""
+
+import atexit
+import os
+from collections import deque
+from itertools import islice
+from typing import Callable, Deque, Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+A = TypeVar("A")
+B = TypeVar("B")
+
+__all__ = ["worker_count", "imap_chunked", "parallel_map", "shutdown_executor"]
+
+#: Chunk size used when the caller does not specify one.  Small enough to
+#: keep workers busy on short grids, large enough to amortise pickling the
+#: callable (which may carry a whole automaton) over several items.
+DEFAULT_CHUNK_SIZE = 4
+
+
+def worker_count() -> int:
+    """The effective worker count from ``REPRO_WORKERS`` (serial = 1).
+
+    Read at call time, never cached: ``0``, ``1``, unset, or junk all mean
+    "stay on the serial path".  An explicit request above the machine's
+    CPU count is honoured (capped at 64 as a sanity bound): tests rely on
+    ``REPRO_WORKERS=2`` actually crossing the process boundary even on a
+    single-CPU host, where oversubscription is the caller's informed
+    choice.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        requested = int(raw)
+    except ValueError:
+        return 1
+    if requested <= 1:
+        return 1
+    return min(requested, 64)
+
+
+# ---------------------------------------------------------------------- #
+# executor lifecycle
+# ---------------------------------------------------------------------- #
+
+_EXECUTOR = None
+_EXECUTOR_WORKERS = 0
+
+
+def _init_worker() -> None:
+    """Run in each worker process: force nested work onto the serial path."""
+    os.environ["REPRO_WORKERS"] = "1"
+
+
+def _get_executor(workers: int):
+    """The shared executor, (re)created when the worker count changes."""
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    if _EXECUTOR is not None and _EXECUTOR_WORKERS == workers:
+        return _EXECUTOR
+    if _EXECUTOR is not None:
+        _EXECUTOR.shutdown(wait=False)
+    from concurrent.futures import ProcessPoolExecutor
+
+    _EXECUTOR = ProcessPoolExecutor(max_workers=workers, initializer=_init_worker)
+    _EXECUTOR_WORKERS = workers
+    return _EXECUTOR
+
+
+def shutdown_executor() -> None:
+    """Tear down the shared executor (test isolation; safe to call twice)."""
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    if _EXECUTOR is not None:
+        _EXECUTOR.shutdown(wait=True)
+        _EXECUTOR = None
+        _EXECUTOR_WORKERS = 0
+
+
+# A live pool at interpreter exit trips concurrent.futures' finalisation
+# weakref callbacks after module teardown ("Exception ignored in:
+# weakref_cb"); shut it down while the runtime is still intact.
+atexit.register(shutdown_executor)
+
+
+def _call_chunk(payload):
+    """Top-level worker entry point: apply ``fn`` to one chunk of items."""
+    fn, chunk = payload
+    return [fn(item) for item in chunk]
+
+
+# ---------------------------------------------------------------------- #
+# ordered chunked map
+# ---------------------------------------------------------------------- #
+
+
+def imap_chunked(
+    fn: Callable[[A], B],
+    items: Iterable[A],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: Optional[int] = None,
+) -> Iterator[B]:
+    """Yield ``fn(item)`` for each item, **in input order**.
+
+    With one effective worker this is a plain generator over *items* --
+    bit-for-bit the serial semantics, consuming the iterable lazily one
+    item at a time.  With more, chunks of *chunk_size* items are
+    dispatched to the process pool with at most ``workers + 2`` chunks in
+    flight (so an early consumer exit never strands an unbounded queue of
+    pickled work), and results are yielded strictly in submission order;
+    a consumer that stops early (e.g. on the first realisable lasso)
+    closes the generator, which cancels every not-yet-started chunk.
+
+    *fn* and the items must be picklable when a pool is used; *fn* is
+    pickled once per chunk, so callables carrying large state (a whole
+    normalised automaton) amortise across the chunk.
+    """
+    if workers is None:
+        workers = worker_count()
+    if workers <= 1:
+        for item in items:
+            yield fn(item)
+        return
+    executor = _get_executor(workers)
+    iterator = iter(items)
+    pending: Deque = deque()
+    max_in_flight = workers + 2
+
+    def submit_next() -> bool:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return False
+        pending.append(executor.submit(_call_chunk, (fn, chunk)))
+        return True
+
+    try:
+        while len(pending) < max_in_flight and submit_next():
+            pass
+        while pending:
+            results = pending.popleft().result()
+            submit_next()
+            for result in results:
+                yield result
+    finally:
+        for future in pending:
+            future.cancel()
+
+
+def parallel_map(
+    fn: Callable[[A], B],
+    items: Sequence[A],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: Optional[int] = None,
+) -> List[B]:
+    """Eager :func:`imap_chunked`: all results, in input order."""
+    return list(imap_chunked(fn, items, chunk_size=chunk_size, workers=workers))

@@ -64,6 +64,7 @@ from repro.core.extended import (
     eliminate_equality_constraints,
     lift_constraints_to_states,
 )
+from repro.core.parallel import parallel_map
 from repro.core.register_automaton import RegisterAutomaton, State, Transition
 
 
@@ -89,20 +90,16 @@ def _guard_map(automaton: RegisterAutomaton) -> Dict[State, SigmaType]:
 
 def _x_class(guard: SigmaType, register: int, k: int) -> FrozenSet[int]:
     """Registers whose x-value the guard forces equal to ``x_register``."""
-    closure = guard.closure
-    return frozenset(
-        m for m in range(1, k + 1) if closure.same(X(register), X(m)) or m == register
-    )
+    from repro.logic.types import x_equality_classes
+
+    return x_equality_classes(guard, k)[register]
 
 
 def _advance_set(guard: SigmaType, members: FrozenSet[int], k: int) -> FrozenSet[int]:
     """One corridor step: registers at the next position equal to the class."""
-    closure = guard.closure
-    return frozenset(
-        m
-        for m in range(1, k + 1)
-        if any(closure.same(X(l), Y(m)) for l in members)
-    )
+    from repro.logic.types import advance_registers
+
+    return advance_registers(guard, members, k)
 
 
 def equality_tracker_dfa(automaton: RegisterAutomaton, i: int, j: int) -> Dfa:
@@ -188,14 +185,14 @@ def corridor_dfa(
     accepting: Set = set()
     worklist: List = []
 
+    from repro.logic.types import y_successor_images
+
     def start_set(guard: SigmaType) -> FrozenSet[int]:
-        closure = guard.closure
         if start_kind == "x":
             return _x_class(guard, start_register, k)
-        from repro.logic.terms import X as _X, Y as _Y
-
+        images = y_successor_images(guard, k)
         return frozenset(
-            m for m in range(1, k + 1) if closure.same(_X(m), _Y(start_register))
+            m for m in range(1, k + 1) if start_register in images[m]
         )
 
     def accepts_here(state) -> bool:
@@ -205,7 +202,8 @@ def corridor_dfa(
         guard = guards[previous]
         if end_kind == "x":
             return end_register in members
-        return any(guard.closure.same(X(l), Y(end_register)) for l in members)
+        images = y_successor_images(guard, k)
+        return any(end_register in images[l] for l in members)
 
     for symbol in alphabet:
         transitions[(dead, symbol)] = dead
@@ -342,6 +340,30 @@ def inequality_tracker_dfa(automaton: RegisterAutomaton, i: int, j: int) -> Dfa:
     return nfa.determinize(alphabet).minimize()
 
 
+class _TrackerPair:
+    """Picklable worker: both Lemma 21 tracker DFAs for one register pair.
+
+    Wraps the normalised automaton (pickled once per chunk when a process
+    pool is in use) and returns, for a pair ``(i, j)``, the equality and
+    inequality tracker DFAs -- or ``None`` where the tracked language is
+    empty and the constraint would be dropped anyway.
+    """
+
+    __slots__ = ("automaton",)
+
+    def __init__(self, automaton: RegisterAutomaton):
+        self.automaton = automaton
+
+    def __call__(self, pair):
+        i, j = pair
+        eq_dfa = equality_tracker_dfa(self.automaton, i, j)
+        neq_dfa = inequality_tracker_dfa(self.automaton, i, j)
+        return (
+            None if eq_dfa.is_empty() else eq_dfa,
+            None if neq_dfa.is_empty() else neq_dfa,
+        )
+
+
 def lemma21_constraints(
     automaton: RegisterAutomaton, registers: Iterable[int]
 ) -> List[GlobalConstraint]:
@@ -351,17 +373,22 @@ def lemma21_constraints(
     language is empty are dropped, and equality constraints that only
     relate a position to itself through the trivial ``i == j`` reflexivity
     are kept (they are harmless and occasionally meaningful).
+
+    Each register pair's two tracker DFAs are independent of every other
+    pair's, so the pairs are mapped through
+    :func:`repro.core.parallel.parallel_map` -- serial by default,
+    process-parallel under ``REPRO_WORKERS`` -- with the constraint list
+    assembled in pair order either way.
     """
     registers = list(registers)
+    pairs = [(i, j) for i in registers for j in registers]
+    results = parallel_map(_TrackerPair(automaton), pairs, chunk_size=2)
     constraints: List[GlobalConstraint] = []
-    for i in registers:
-        for j in registers:
-            eq_dfa = equality_tracker_dfa(automaton, i, j)
-            if not eq_dfa.is_empty():
-                constraints.append(GlobalConstraint(EQ, i, j, eq_dfa))
-            neq_dfa = inequality_tracker_dfa(automaton, i, j)
-            if not neq_dfa.is_empty():
-                constraints.append(GlobalConstraint(NEQ, i, j, neq_dfa))
+    for (i, j), (eq_dfa, neq_dfa) in zip(pairs, results):
+        if eq_dfa is not None:
+            constraints.append(GlobalConstraint(EQ, i, j, eq_dfa))
+        if neq_dfa is not None:
+            constraints.append(GlobalConstraint(NEQ, i, j, neq_dfa))
     return constraints
 
 

@@ -130,23 +130,34 @@ class RegisterAutomaton:
         constants = set(self._signature.const_terms())
         register_vars = set(x_vars(self._k)) | set(y_vars(self._k))
         for transition in self._transitions:
-            location = repr(transition)
+            # Rendering a transition (its guard included) is far more
+            # expensive than checking it; build the location string only
+            # when a diagnostic actually needs it.
+            location: Optional[str] = None
+
+            def where() -> str:
+                nonlocal location
+                if location is None:
+                    location = repr(transition)
+                return location
+
             if transition.source not in self._states or transition.target not in self._states:
                 diagnostics.append(
-                    error("RA003", "transition uses unknown states", location)
+                    error("RA003", "transition uses unknown states", where())
                 )
             guard = transition.guard
-            for variable in sorted(guard.variables):
-                decomposed = register_index(variable)
-                if decomposed is None or variable not in register_vars:
-                    diagnostics.append(
-                        error(
-                            "RA004",
-                            "guard variable %r is not a register variable "
-                            "x1..x%d / y1..y%d" % (variable, self._k, self._k),
-                            location,
+            if not guard.variables <= register_vars:
+                for variable in sorted(guard.variables):
+                    decomposed = register_index(variable)
+                    if decomposed is None or variable not in register_vars:
+                        diagnostics.append(
+                            error(
+                                "RA004",
+                                "guard variable %r is not a register variable "
+                                "x1..x%d / y1..y%d" % (variable, self._k, self._k),
+                                where(),
+                            )
                         )
-                    )
             for constant in sorted(guard.constants):
                 if constant not in constants:
                     diagnostics.append(
@@ -154,14 +165,14 @@ class RegisterAutomaton:
                             "RA005",
                             "guard constant %r is not declared in the signature"
                             % (constant,),
-                            location,
+                            where(),
                         )
                     )
             for literal in guard.relational_literals():
                 try:
                     self._signature.validate_atom(literal.atom)
                 except SpecificationError as failure:
-                    diagnostics.append(error("RA006", str(failure), location))
+                    diagnostics.append(error("RA006", str(failure), where()))
         return diagnostics
 
     # ------------------------------------------------------------------ #

@@ -289,13 +289,11 @@ def _register_choices(
     ``y_1 .. y_l`` we check exactly the literals whose variables became
     determined at level ``l``.
     """
-    from repro.db.evaluation import evaluate_literal
-    from repro.logic.terms import Var
+    from repro.db.evaluation import evaluate_literal, register_vars
 
     levels = _guard_levels(guard, k)
-    valuation: Dict = {}
-    for index, value in enumerate(before, start=1):
-        valuation[Var("x%d" % index)] = value
+    y_variables = register_vars("y", k)
+    valuation: Dict = dict(zip(register_vars("x", len(before)), before))
 
     def level_ok(level: int) -> bool:
         for literal in levels[level]:
@@ -312,7 +310,7 @@ def _register_choices(
         if level > k:
             yield tuple(partial)
             return
-        variable = Var("y%d" % level)
+        variable = y_variables[level - 1]
         for value in pool:
             valuation[variable] = value
             partial.append(value)
@@ -335,39 +333,38 @@ def initial_tuples(
     The first register tuple must satisfy the x-part of some transition
     fired from an initial state.
     """
+    k = automaton.k
     for state in sorted(automaton.initial, key=repr):
         for transition in automaton.transitions_from(state):
-            x_guard = transition.guard.x_part(automaton.k)
+            # Evaluate the x-part as if choosing "next" values: rename
+            # x_i -> y_i so _register_choices' y-backtracking applies.
+            x_guard = transition.guard.x_part(k).rename(_x_to_y_mapping(k))
             seen: Set[Tuple[DataValue, ...]] = set()
             for first in _register_choices(
-                x_guard.rename(
-                    {  # evaluate the x-part as if choosing "next" values
-                        __x: __y
-                        for __x, __y in zip(
-                            _x_tuple(automaton.k), _y_tuple(automaton.k)
-                        )
-                    }
-                ),
-                ("?",) * automaton.k,
+                x_guard,
+                ("?",) * k,
                 pool,
                 database,
-                automaton.k,
+                k,
             ):
                 if first not in seen:
                     seen.add(first)
                     yield state, first, transition
 
 
-def _x_tuple(k: int):
-    from repro.logic.terms import x_vars
-
-    return x_vars(k)
+_X_TO_Y: Dict[int, Dict] = {}
 
 
-def _y_tuple(k: int):
-    from repro.logic.terms import y_vars
+def _x_to_y_mapping(k: int) -> Dict:
+    """The substitution ``x_i -> y_i`` (cached per register count)."""
+    mapping = _X_TO_Y.get(k)
+    if mapping is None:
+        from repro.db.evaluation import register_vars
 
-    return y_vars(k)
+        mapping = _X_TO_Y[k] = dict(
+            zip(register_vars("x", k), register_vars("y", k))
+        )
+    return mapping
 
 
 def find_lasso_run(

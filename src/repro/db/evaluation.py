@@ -13,7 +13,7 @@ from repro.foundations.errors import EvaluationError
 from repro.db.database import Database
 from repro.logic.formulas import And, AtomFormula, FalseFormula, Formula, Not, Or, TrueFormula
 from repro.logic.literals import EqAtom, Literal, RelAtom
-from repro.logic.terms import Const, Term, Var
+from repro.logic.terms import Const, Term, Var, x_vars, y_vars
 from repro.logic.types import SigmaType
 
 #: A valuation assigns data values to variables.
@@ -57,8 +57,12 @@ def evaluate_literal(literal: Literal, database: Database, valuation: Valuation)
 # its value.  Both the shape and the pattern memo live on the type instance
 # itself (``SigmaType`` carries ``__dict__`` precisely for such caches, cf.
 # ``closure``), so the hot path never hashes or compares whole types and
-# entries die with the type.  Stats are imported lazily: ``repro.core``
-# transitively imports this module, so a top-level import would be circular.
+# entries die with the type.  With hash-consing the instance *is* the
+# value: every construction of a structurally equal guard returns the same
+# canonical object, so this per-instance memo silently became a per-value
+# memo shared across all construction sites.  Stats are imported lazily:
+# ``repro.core`` transitively imports this module, so a top-level import
+# would be circular.
 _EVAL_STATS = None
 
 
@@ -129,6 +133,23 @@ def evaluate_formula(formula: Formula, database: Database, valuation: Valuation)
     raise EvaluationError("unknown formula kind %r" % (formula,))
 
 
+# Register-variable tuples by arity.  ``transition_valuation`` runs once
+# per streamed/searched position; building ``Var("x%d" % i)`` there cost a
+# string format plus an intern probe per register.  The tuples are tiny and
+# the set of arities tinier, so a plain dict memo is the right shape.
+_X_VARS: Dict[int, tuple] = {}
+_Y_VARS: Dict[int, tuple] = {}
+
+
+def register_vars(kind: str, count: int) -> tuple:
+    """The cached tuple ``(x1..x_count)`` or ``(y1..y_count)``."""
+    memo = _X_VARS if kind == "x" else _Y_VARS
+    found = memo.get(count)
+    if found is None:
+        found = memo[count] = x_vars(count) if kind == "x" else y_vars(count)
+    return found
+
+
 def transition_valuation(
     before: tuple, after: tuple, extra: Dict[Var, DataValue] = None
 ) -> Dict[Var, DataValue]:
@@ -138,11 +159,10 @@ def transition_valuation(
     contents at the current position, *after* at the next one.  *extra* may
     supply values for additional variables (e.g. LTL-FO globals).
     """
-    valuation: Dict[Var, DataValue] = {}
-    for index, value in enumerate(before, start=1):
-        valuation[Var("x%d" % index)] = value
-    for index, value in enumerate(after, start=1):
-        valuation[Var("y%d" % index)] = value
+    valuation: Dict[Var, DataValue] = dict(
+        zip(register_vars("x", len(before)), before)
+    )
+    valuation.update(zip(register_vars("y", len(after)), after))
     if extra:
         valuation.update(extra)
     return valuation

@@ -15,6 +15,20 @@ from repro.foundations.errors import (
     ReproError,
     SpecificationError,
 )
+from repro.foundations.interning import (
+    Interned,
+    clear_intern_tables,
+    intern_table_sizes,
+    interning,
+    interning_enabled,
+    set_interning,
+)
+from repro.foundations.stats import (
+    CacheStats,
+    all_cache_stats,
+    cache_stats,
+    reset_cache_stats,
+)
 
 __all__ = [
     "DataValue",
@@ -28,4 +42,14 @@ __all__ = [
     "Diagnostic",
     "Report",
     "merge_reports",
+    "Interned",
+    "interning",
+    "interning_enabled",
+    "set_interning",
+    "intern_table_sizes",
+    "clear_intern_tables",
+    "CacheStats",
+    "cache_stats",
+    "all_cache_stats",
+    "reset_cache_stats",
 ]

@@ -1,0 +1,42 @@
+"""The ``intern()`` escape hatch for externally built logic values.
+
+The constructors of :mod:`repro.logic` hash-cons automatically, so values
+built through them are already canonical.  Values that arrive from
+*outside* the constructors -- unpickled with interning disabled, built by
+third-party code against an older API, or synthesised field by field --
+can be re-canonicalised here.  ``intern`` rebuilds bottom-up through the
+interning constructors, so the result is *the* canonical instance and all
+sub-values (terms, atoms) are canonical too; on an already-canonical value
+it is a cheap table hit per node.
+"""
+
+from typing import TypeVar, Union
+
+from repro.logic.literals import EqAtom, Literal, RelAtom
+from repro.logic.terms import Const, Term, Var
+from repro.logic.types import SigmaType
+
+Internable = Union[Term, EqAtom, RelAtom, Literal, SigmaType]
+V = TypeVar("V", bound=Internable)
+
+__all__ = ["intern"]
+
+
+def intern(value: V) -> V:
+    """The canonical interned instance structurally equal to *value*.
+
+    Accepts terms, atoms, literals and sigma-types; raises ``TypeError``
+    for anything else.  When interning is disabled (``REPRO_INTERN=0``)
+    this degrades to a structural rebuild and returns an equal value.
+    """
+    if isinstance(value, (Var, Const)):
+        return type(value)(value.name)
+    if isinstance(value, EqAtom):
+        return EqAtom(intern(value.left), intern(value.right))
+    if isinstance(value, RelAtom):
+        return RelAtom(value.relation, tuple(intern(t) for t in value.args))
+    if isinstance(value, Literal):
+        return Literal(intern(value.atom), value.positive)
+    if isinstance(value, SigmaType):
+        return SigmaType([intern(l) for l in value.literals], check=False)
+    raise TypeError("cannot intern %r (type %s)" % (value, type(value).__name__))

@@ -5,20 +5,48 @@ Registers follow the paper's convention: in a transition guard over a
 the transition and ``y1 .. yk`` the contents *after* it.  :func:`X` and
 :func:`Y` build these variables; :func:`register_index` recovers the
 (kind, index) structure from a variable when it follows the convention.
+
+Terms are **hash-consed** (see :mod:`repro.foundations.interning`): the
+constructors return one canonical instance per name, carrying a
+precomputed hash and sort key, so the millions of ``Var("x1")`` lookups
+the run searches perform hash in O(1) and compare by identity.  Equality
+stays structural for values built while interning is disabled.
 """
 
 import re
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.foundations.interning import Interned
 
-@dataclass(frozen=True)
-class Term:
+
+class Term(metaclass=Interned):
     """Base class for terms.  Terms are immutable, hashable and totally
     ordered (variables before constants, then by name) so that literal sets
     canonicalise deterministically."""
 
-    name: str
+    __slots__ = ("name", "_hash", "_sort", "__weakref__")
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(
+            self, "_sort", (0 if self.is_variable() else 1, name)
+        )
+        object.__setattr__(self, "_hash", hash((type(self).__name__, name)))
+
+    @classmethod
+    def __intern_key__(cls, name: str) -> str:
+        return name
+
+    def __setattr__(self, attribute, value):
+        raise AttributeError("terms are immutable")
+
+    def __delattr__(self, attribute):
+        raise AttributeError("terms are immutable")
+
+    def __reduce__(self):
+        # Route unpickling through the constructor so values shipped to and
+        # from worker processes re-intern on load.
+        return (type(self), (self.name,))
 
     def is_variable(self) -> bool:
         raise NotImplementedError
@@ -27,32 +55,47 @@ class Term:
         return not self.is_variable()
 
     def sort_key(self) -> Tuple[int, str]:
-        return (0 if self.is_variable() else 1, self.name)
+        return self._sort
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if type(other) is not type(self):
+            return NotImplemented if not isinstance(other, Term) else False
+        return self.name == other.name
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __lt__(self, other: "Term") -> bool:
         if not isinstance(other, Term):
             return NotImplemented
-        return self.sort_key() < other.sort_key()
+        return self._sort < other._sort
 
     def __le__(self, other: "Term") -> bool:
         if not isinstance(other, Term):
             return NotImplemented
-        return self.sort_key() <= other.sort_key()
+        return self._sort <= other._sort
 
     def __gt__(self, other: "Term") -> bool:
         if not isinstance(other, Term):
             return NotImplemented
-        return self.sort_key() > other.sort_key()
+        return self._sort > other._sort
 
     def __ge__(self, other: "Term") -> bool:
         if not isinstance(other, Term):
             return NotImplemented
-        return self.sort_key() >= other.sort_key()
+        return self._sort >= other._sort
 
 
-@dataclass(frozen=True)
 class Var(Term):
     """A first-order variable, identified by its name."""
+
+    __slots__ = ()
 
     def is_variable(self) -> bool:
         return True
@@ -61,13 +104,14 @@ class Var(Term):
         return self.name
 
 
-@dataclass(frozen=True)
 class Const(Term):
     """A constant symbol of the signature.
 
     A constant denotes an element of the data domain; the denotation is fixed
     by the database (see :class:`repro.db.Database`), not by the symbol.
     """
+
+    __slots__ = ()
 
     def is_variable(self) -> bool:
         return False

@@ -22,11 +22,14 @@ two consecutive types agree on the common registers when
 ``delta_n | y`` equals ``delta_{n+1} | x`` under the renaming ``y_i -> x_i``.
 """
 
+import weakref
 from functools import cached_property
 from itertools import product as cartesian_product
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.foundations.errors import InconsistentTypeError
+from repro.foundations.interning import interning_enabled, register_intern_table
+from repro.foundations.stats import cache_stats
 from repro.logic.closure import EqualityClosure
 from repro.logic.literals import Atom, EqAtom, Literal, RelAtom
 from repro.logic.terms import Const, Term, Var, X, Y, register_index
@@ -67,11 +70,21 @@ class SigmaType:
     >>> delta1 = SigmaType([eq(X(1), X(2)), eq(X(2), Y(2))])
     >>> delta1.entails(eq(X(1), Y(2)))
     True
+
+    Types are hash-consed: constructing the same literal set twice (in any
+    iteration order) yields one canonical instance, so structural equality
+    is usually pointer identity and the cached properties below (closure,
+    terms, canonical form) are computed once per *value*.  The table is
+    weak -- unreferenced types are collected normally -- and interning can
+    be disabled wholesale (``REPRO_INTERN=0``), in which case everything
+    still works by structural equality.
     """
 
-    __slots__ = ("_literals", "__dict__")
+    __slots__ = ("_literals", "_hash", "__weakref__", "__dict__")
 
-    def __init__(self, literals: Iterable[Literal] = (), check: bool = True):
+    _intern_table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, literals: Iterable[Literal] = (), check: bool = True):
         cleaned: Set[Literal] = set()
         for literal in literals:
             atom = literal.atom
@@ -80,11 +93,41 @@ class SigmaType:
                     continue
                 raise InconsistentTypeError("literal %r is trivially false" % (literal,))
             cleaned.add(literal)
-        self._literals: FrozenSet[Literal] = frozenset(cleaned)
+        frozen: FrozenSet[Literal] = frozenset(cleaned)
+        interning = interning_enabled() and cls is SigmaType
+        if interning:
+            stats = _SIGMA_STATS
+            existing = cls._intern_table.get(frozen)
+            if existing is not None:
+                stats.hits += 1
+                if check and not existing.is_satisfiable():
+                    raise InconsistentTypeError(
+                        "unsatisfiable type: %s"
+                        % ", ".join(sorted(repr(l) for l in cleaned))
+                    )
+                return existing
+            stats.misses += 1
+        self = object.__new__(cls)
+        self._literals = frozen
+        self._hash = hash(frozen)
         if check and not self.closure.is_consistent():
             raise InconsistentTypeError(
                 "unsatisfiable type: %s" % ", ".join(sorted(repr(l) for l in cleaned))
             )
+        if interning:
+            self = cls._intern_table.setdefault(frozen, self)
+            _SIGMA_STATS.note_entries(len(cls._intern_table))
+        return self
+
+    def __init__(self, literals: Iterable[Literal] = (), check: bool = True):
+        # All construction work happens in __new__ so that intern hits skip
+        # it entirely; nothing to do here.
+        pass
+
+    def __reduce__(self):
+        # Unpickling re-enters the interning constructor (check=False: the
+        # literals were satisfiable when pickled).
+        return (_rebuild_sigma_type, (self.canonical_literals,))
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -129,7 +172,10 @@ class SigmaType:
     # ------------------------------------------------------------------ #
 
     def is_satisfiable(self) -> bool:
-        return self.closure.is_consistent()
+        cached = self.__dict__.get("_satisfiable")
+        if cached is None:
+            cached = self.__dict__["_satisfiable"] = self.closure.is_consistent()
+        return cached
 
     def entails(self, literal: Literal) -> bool:
         """Whether every model of this type satisfies *literal*."""
@@ -231,12 +277,34 @@ class SigmaType:
         variables: Sequence[Var],
         constants: Sequence[Const] = (),
     ) -> Iterator["SigmaType"]:
-        """Lazily enumerate the complete types extending this one.
+        """Enumerate the complete types extending this one.
 
         This is the exponential blow-up the paper mentions; the enumeration
         is a backtracking search that settles one undecided atom at a time
-        and prunes inconsistent branches via the equality closure.
+        and prunes inconsistent branches via the equality closure.  The
+        result is memoised per value and vocabulary: under interning, two
+        structurally equal guards share one completion computation.
         """
+        key = (
+            tuple(sorted(relations.items())),
+            tuple(variables),
+            tuple(constants),
+        )
+        memo = self.__dict__.setdefault("_completions_memo", {})
+        found = memo.get(key)
+        if found is not None:
+            return iter(found)
+        memo[key] = found = tuple(
+            self._enumerate_completions(relations, variables, constants)
+        )
+        return iter(found)
+
+    def _enumerate_completions(
+        self,
+        relations: Dict[str, int],
+        variables: Sequence[Var],
+        constants: Sequence[Const],
+    ) -> Iterator["SigmaType"]:
         obligations = self._completion_obligations(relations, variables, constants)
 
         def extend(current: SigmaType, index: int) -> Iterator[SigmaType]:
@@ -265,24 +333,115 @@ class SigmaType:
         """Sorted literal tuple: the canonical syntactic form."""
         return tuple(sorted(self._literals))
 
+    @cached_property
+    def _canonical_reprs(self) -> Tuple[str, ...]:
+        """Rendered literals in canonical order (cached: repr/pretty reuse)."""
+        return tuple(repr(l) for l in self.canonical_literals)
+
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, SigmaType):
             return NotImplemented
         return self._literals == other._literals
 
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
     def __hash__(self) -> int:
-        return hash(self._literals)
+        return self._hash
 
     def __repr__(self) -> str:
-        if not self._literals:
-            return "SigmaType(true)"
-        return "SigmaType(%s)" % " and ".join(repr(l) for l in self.canonical_literals)
+        found = self.__dict__.get("_repr")
+        if found is None:
+            if not self._literals:
+                found = "SigmaType(true)"
+            else:
+                found = "SigmaType(%s)" % " and ".join(self._canonical_reprs)
+            self.__dict__["_repr"] = found
+        return found
 
     def pretty(self) -> str:
         """A compact single-line rendering, ``true`` for the empty type."""
-        if not self._literals:
-            return "true"
-        return " & ".join(repr(l) for l in self.canonical_literals)
+        found = self.__dict__.get("_pretty")
+        if found is None:
+            if not self._literals:
+                found = "true"
+            else:
+                found = " & ".join(self._canonical_reprs)
+            self.__dict__["_pretty"] = found
+        return found
+
+
+_SIGMA_STATS = cache_stats("intern.SigmaType")
+register_intern_table("SigmaType", SigmaType._intern_table)
+
+
+def _rebuild_sigma_type(literals: Tuple[Literal, ...]) -> SigmaType:
+    """Pickle helper: reconstruct (and hence re-intern) a type on load."""
+    return SigmaType(literals, check=False)
+
+
+def x_equality_classes(delta: SigmaType, k: int) -> Dict[int, FrozenSet[int]]:
+    """For each register ``i``, the registers forced equal to it *now*.
+
+    ``result[i]`` is ``{m : delta entails x_i = x_m} | {i}`` -- the
+    ``~``-class of register ``i`` at the current position.  Cached on the
+    type instance (per *k*): a pure function of the guard, queried once
+    per trace position by the consistency check and the Lemma 21 tracker
+    constructions, where the union-find walks used to dominate.  Under
+    interning the memo is shared by every structurally equal guard.
+    """
+    cache = delta.__dict__.get("_x_classes")
+    if cache is None:
+        cache = delta.__dict__["_x_classes"] = {}
+    found = cache.get(k)
+    if found is None:
+        closure = delta.closure
+        found = cache[k] = {
+            i: frozenset(
+                m
+                for m in range(1, k + 1)
+                if m == i or closure.same(X(i), X(m))
+            )
+            for i in range(1, k + 1)
+        }
+    return found
+
+
+def y_successor_images(delta: SigmaType, k: int) -> Dict[int, FrozenSet[int]]:
+    """For each register ``l``, the next-position registers it flows into.
+
+    ``result[l] = {m : delta entails x_l = y_m}``.  The one-step image of
+    a register set under the guard is the union of these images, which is
+    how corridors are advanced position by position.  Cached like
+    :func:`x_equality_classes`.
+    """
+    cache = delta.__dict__.get("_y_images")
+    if cache is None:
+        cache = delta.__dict__["_y_images"] = {}
+    found = cache.get(k)
+    if found is None:
+        closure = delta.closure
+        found = cache[k] = {
+            l: frozenset(
+                m for m in range(1, k + 1) if closure.same(X(l), Y(m))
+            )
+            for l in range(1, k + 1)
+        }
+    return found
+
+
+def advance_registers(
+    delta: SigmaType, members: FrozenSet[int], k: int
+) -> FrozenSet[int]:
+    """The one-step image of *members* under the guard's corridors."""
+    images = y_successor_images(delta, k)
+    result: Set[int] = set()
+    for l in members:
+        result |= images[l]
+    return frozenset(result)
 
 
 def equality_type(*literals: Literal) -> SigmaType:

@@ -602,6 +602,19 @@ class TestLintRepro:
         codes = [f.code for f in lint_repro.iter_findings("def broken(:\n", "x.py")]
         assert codes == ["SYN001"]
 
+    def test_hot_construction_flagged_in_core(self):
+        source = "def f(x):\n    return SigmaType([Literal(x)])\n"
+        codes = [
+            f.code
+            for f in lint_repro.iter_findings(source, "src/repro/core/hot.py")
+        ]
+        assert codes == ["HC001", "HC001"]
+
+    def test_hot_construction_ignored_outside_core(self):
+        source = "def f(x):\n    return SigmaType([Literal(x)])\n"
+        for path in ("src/repro/logic/types.py", "tests/test_logic.py"):
+            assert list(lint_repro.iter_findings(source, path)) == []
+
     def test_src_tree_is_clean(self):
         findings = lint_repro.lint_paths([str(REPO_ROOT / "src")])
         assert findings == [], "\n".join(f.format() for f in findings)

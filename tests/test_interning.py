@@ -1,0 +1,241 @@
+"""Interning invariants (PR 3): identity, hashing, pickling, parallelism.
+
+The hash-consed logic kernel promises that structural equality *is*
+identity for terms, literals and sigma-types.  These properties pin the
+promise down:
+
+* permutation identity -- a sigma-type built from any ordering of the
+  same literal bag is the same object;
+* hash stability -- hashes agree across construction orders and across
+  the ``intern()`` escape hatch;
+* pickle safety -- values re-intern on unpickle, so a round trip yields
+  the canonical instance (this is what lets values cross the
+  ``ProcessPoolExecutor`` boundary);
+* parallel determinism -- ``check_emptiness`` under ``REPRO_WORKERS=2``
+  returns byte-identical results to the serial run on the Example 2/3
+  automaton and its completed / state-driven normal forms.
+"""
+
+import os
+import pickle
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ExtendedAutomaton,
+    GlobalConstraint,
+    RegisterAutomaton,
+    SigmaType,
+    Signature,
+    X,
+    Y,
+    check_emptiness,
+    eq,
+    neq,
+    rel,
+)
+from repro.automata.regex import concat, literal, plus
+from repro.core.parallel import shutdown_executor, worker_count
+from repro.foundations.errors import InconsistentTypeError
+from repro.generators import random_equality_type
+from repro.logic.intern import intern
+from repro.logic.literals import EqAtom, Literal, RelAtom
+from repro.logic.terms import Const, Var
+
+# --------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------- #
+
+terms = st.one_of(
+    st.sampled_from([X(1), X(2), X(3), Y(1), Y(2), Y(3)]),
+    st.sampled_from([Const("a"), Const("b")]),
+)
+
+equality_literals = st.builds(
+    lambda left, right, positive: eq(left, right) if positive else neq(left, right),
+    terms,
+    terms,
+    st.booleans(),
+)
+
+relational_literals = st.builds(
+    lambda name, args, positive: Literal(RelAtom(name, tuple(args)), positive),
+    st.sampled_from(["P", "R"]),
+    st.lists(terms, min_size=1, max_size=2),
+    st.booleans(),
+)
+
+literal_bags = st.lists(
+    st.one_of(equality_literals, relational_literals), max_size=6
+)
+
+
+def _sigma(literals):
+    """Build a SigmaType, skipping the (valid) inconsistent bags."""
+    try:
+        return SigmaType(literals)
+    except InconsistentTypeError:
+        return None
+
+
+# --------------------------------------------------------------------- #
+# identity and hashing
+# --------------------------------------------------------------------- #
+
+
+@given(literal_bags, st.randoms(use_true_random=False))
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_permutation_identity(literals, rng):
+    """Any ordering of the same literal bag interns to the same object."""
+    first = _sigma(literals)
+    if first is None:
+        return
+    shuffled = list(literals)
+    rng.shuffle(shuffled)
+    second = _sigma(shuffled)
+    assert second is first
+    assert hash(second) == hash(first)
+    assert repr(second) == repr(first)
+
+
+@given(literal_bags)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_duplicate_literals_collapse(literals):
+    """Repeating literals does not change the interned value."""
+    first = _sigma(literals)
+    if first is None:
+        return
+    assert _sigma(literals + literals) is first
+
+
+@given(equality_literals)
+def test_literal_identity(lit):
+    """Reconstructing a literal field by field yields the same object."""
+    rebuilt = Literal(EqAtom(lit.atom.left, lit.atom.right), lit.positive)
+    assert rebuilt is lit
+    assert lit.negate().negate() is lit
+
+
+@given(st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=2**32))
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_random_equality_type_hash_stable(k, seed):
+    """Generator output re-interns to itself with a stable hash."""
+    delta = random_equality_type(random.Random(seed), k)
+    again = random_equality_type(random.Random(seed), k)
+    assert again is delta
+    assert hash(again) == hash(delta)
+    assert intern(delta) is delta
+
+
+# --------------------------------------------------------------------- #
+# pickling (the process-pool boundary)
+# --------------------------------------------------------------------- #
+
+
+@given(literal_bags)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_pickle_reinterns(literals):
+    """A pickle round trip returns the canonical interned instance."""
+    value = _sigma(literals)
+    if value is None:
+        return
+    clone = pickle.loads(pickle.dumps(value))
+    assert clone is value
+    for lit in value.literals:
+        assert pickle.loads(pickle.dumps(lit)) is lit
+
+
+def test_pickle_reinterns_terms():
+    for term in (X(1), Y(2), Const("a")):
+        assert pickle.loads(pickle.dumps(term)) is term
+
+
+# --------------------------------------------------------------------- #
+# serial / parallel parity
+# --------------------------------------------------------------------- #
+
+
+def _example23(constrained):
+    d1 = SigmaType([eq(X(1), X(2)), eq(X(2), Y(2))])
+    d2 = SigmaType([eq(X(2), Y(2))])
+    d3 = SigmaType([eq(X(2), Y(2)), eq(Y(1), Y(2))])
+    automaton = RegisterAutomaton(
+        2,
+        Signature.empty(),
+        {"q1", "q2"},
+        {"q1"},
+        {"q1"},
+        [("q1", d1, "q2"), ("q2", d2, "q2"), ("q2", d3, "q1")],
+    )
+    constraints = []
+    if constrained:
+        factor = concat(literal("q1"), plus(literal("q2")), literal("q1"))
+        constraints = [GlobalConstraint("neq", 1, 1, factor)]
+    return automaton, constraints
+
+
+def _p_only():
+    signature = Signature(relations={"P": 1})
+    guard = SigmaType([rel("P", X(1))])
+    base = RegisterAutomaton(1, signature, {"p"}, {"p"}, {"p"}, [("p", guard, "p")])
+    factor = concat(literal("p"), plus(literal("p")), literal("p"))
+    return base, [GlobalConstraint("neq", 1, 1, factor)]
+
+
+def _fingerprint(result):
+    witness = result.witness
+    return (
+        result.empty,
+        result.exact,
+        result.candidates_checked,
+        result.max_prefix,
+        result.max_cycle,
+        None if witness is None else witness.trace,
+    )
+
+
+@pytest.fixture
+def two_workers(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    assert worker_count() == 2  # the knob must actually cross processes
+    yield
+    shutdown_executor()
+
+
+def test_parallel_matches_serial(two_workers, monkeypatch):
+    """REPRO_WORKERS=2 emptiness is byte-identical to the serial answer."""
+    cases = []
+    for constrained in (False, True):
+        base, constraints = _example23(constrained)
+        for variant in (base, base.completed(), base.state_driven()):
+            cases.append(ExtendedAutomaton(variant, constraints))
+    base, constraints = _p_only()
+    cases.append(ExtendedAutomaton(base, constraints))
+
+    for extended in cases:
+        parallel = _fingerprint(
+            check_emptiness(extended, max_prefix=2, max_cycle=4)
+        )
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        serial = _fingerprint(check_emptiness(extended, max_prefix=2, max_cycle=4))
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert parallel == serial
+
+
+def test_worker_count_parsing(monkeypatch):
+    for raw, expected in [
+        ("", 1),
+        ("0", 1),
+        ("1", 1),
+        ("2", 2),
+        ("junk", 1),
+        ("-3", 1),
+        ("999", 64),
+    ]:
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        assert worker_count() == expected
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert worker_count() == 1

@@ -13,6 +13,13 @@ in ``id`` -- and extends the ruleset:
   The default is evaluated once and shared across calls.
 * ``EXC001`` -- bare ``except:``.  Swallows ``KeyboardInterrupt`` and
   ``SystemExit``; catch a concrete exception class instead.
+* ``HC001`` -- direct ``Literal(...)`` / ``SigmaType(...)`` construction
+  inside ``repro/core`` (the hot paths).  The constructors hash-cons, but
+  each call still canonicalises and probes the intern tables; hot paths
+  should derive guards through the cached helpers (``x_part``,
+  ``rename``, ``with_literals``, ``eq``/``neq``/``rel``) or hoist
+  construction out of the loop.  Only applies to files under
+  ``repro/core``.
 
 Usage::
 
@@ -60,11 +67,23 @@ def _is_mutable_default(node: ast.expr) -> bool:
     return False
 
 
+_HOT_CONSTRUCTORS = ("Literal", "SigmaType")
+
+
+def _in_hot_tree(path: str) -> bool:
+    """Whether *path* lies under a ``repro/core`` directory."""
+    parts = Path(path).parts
+    return any(
+        parts[i : i + 2] == ("repro", "core") for i in range(len(parts) - 1)
+    )
+
+
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str):
         self.path = path
         self.findings: List[Finding] = []
         self._id_shadowed = 0
+        self._hot_tree = _in_hot_tree(path)
 
     def _report(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(
@@ -118,7 +137,29 @@ class _Linter(ast.NodeVisitor):
                 "call to builtin id(): object ids are recycled after garbage "
                 "collection and must never serve as cache/dedup keys",
             )
+        self._check_hot_construction(node)
         self.generic_visit(node)
+
+    # HC001 ------------------------------------------------------------- #
+
+    def _check_hot_construction(self, node: ast.Call) -> None:
+        if not self._hot_tree:
+            return
+        callee = node.func
+        name = None
+        if isinstance(callee, ast.Name):
+            name = callee.id
+        elif isinstance(callee, ast.Attribute):
+            name = callee.attr
+        if name in _HOT_CONSTRUCTORS:
+            self._report(
+                node,
+                "HC001",
+                "direct %s(...) construction in a repro/core hot path: "
+                "derive guards through the cached helpers (x_part, rename, "
+                "with_literals, eq/neq/rel) or hoist construction out of "
+                "the loop" % name,
+            )
 
     # DEF001 ------------------------------------------------------------ #
 
