@@ -2,10 +2,11 @@
 
 Each benchmark prints the data series of its experiment (DESIGN.md E1-E12)
 so the run log doubles as the reproduction record in EXPERIMENTS.md.  The
-same registry is serialised to a machine-readable JSON report
-(``BENCH_3.json``) at session end, together with the pytest-benchmark
-timing statistics and the cache/intern-table counters, so CI can archive
-one artifact per run instead of scraping the log.
+same registry is serialised to a machine-readable JSON report (named by
+``REPRO_BENCH_JSON``, default ``BENCH_4.json``) at session end, together
+with the pytest-benchmark timing statistics and the cache/intern-table
+counters, so CI can archive one artifact per run instead of scraping the
+log.
 """
 
 import json
@@ -39,7 +40,7 @@ def register_table(title: str, headers: Sequence[str], rows: list) -> None:
 
 
 # ---------------------------------------------------------------------- #
-# machine-readable session report (BENCH_3.json)
+# machine-readable session report (BENCH_*.json)
 # ---------------------------------------------------------------------- #
 
 
@@ -88,7 +89,7 @@ def timing_payload(config) -> list:
     return entries
 
 
-def session_payload(config) -> dict:
+def session_payload(config, report: str = "BENCH_4") -> dict:
     """The full session report: tables, timings, cache and intern stats."""
     from repro.core.caching import all_cache_stats
     from repro.foundations.interning import (
@@ -98,7 +99,7 @@ def session_payload(config) -> dict:
     from repro.core.parallel import worker_count
 
     return {
-        "report": "BENCH_3",
+        "report": report,
         "interning_enabled": interning_enabled(),
         "workers": worker_count(),
         "cpu_count": os.cpu_count(),
@@ -110,7 +111,14 @@ def session_payload(config) -> dict:
 
 
 def write_session_json(path: str, config) -> None:
-    """Serialise :func:`session_payload` to *path* (UTF-8, indented)."""
+    """Serialise :func:`session_payload` to *path* (UTF-8, indented).
+
+    The report name inside the payload is the file's stem, so redirecting
+    ``REPRO_BENCH_JSON`` also renames the report it contains.
+    """
+    stem = os.path.splitext(os.path.basename(path))[0] or "BENCH"
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(session_payload(config), handle, indent=2, sort_keys=True)
+        json.dump(
+            session_payload(config, report=stem), handle, indent=2, sort_keys=True
+        )
         handle.write("\n")

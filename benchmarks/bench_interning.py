@@ -54,17 +54,33 @@ from repro.foundations.interning import clear_intern_tables, set_interning
 
 from _tables import register_table
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+def _quick():
+    """Quick mode (CI smoke) -- read per call, never cached (ENV001)."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
-PREFIX_LENGTH = 200 if QUICK else 1000
-EMPTINESS_BATCH = 4 if QUICK else 12
-GRID_CYCLES = (5,) if QUICK else (6, 7)
-REPEATS = 3 if QUICK else 5
+
+def _prefix_length():
+    return 200 if _quick() else 1000
+
+
+def _emptiness_batch():
+    return 4 if _quick() else 12
+
+
+def _grid_cycles():
+    return (5,) if _quick() else (6, 7)
+
+
+def _repeats():
+    return 3 if _quick() else 5
+
 
 ROWS = []
 
 
-def _median_seconds(fn, repeats=REPEATS):
+def _median_seconds(fn, repeats=None):
+    if repeats is None:
+        repeats = _repeats()
     times = []
     for _ in range(repeats):
         start = time.perf_counter()
@@ -148,7 +164,8 @@ def test_streaming_validity_ablation():
     automaton = spec.compile()
     database = Database(Signature.empty())
     lasso = find_lasso_run(automaton, database)
-    prefix = lasso.unfold(PREFIX_LENGTH)
+    length = _prefix_length()
+    prefix = lasso.unfold(length)
     wire = [tuple(guard.literals) for guard in prefix.guards]
 
     from repro.core.runs import FiniteRun
@@ -159,12 +176,12 @@ def test_streaming_validity_ablation():
         assert run.is_valid(automaton, database)
 
     on, off = _ablate(stream)
-    _row("streaming validity (n=%d)" % PREFIX_LENGTH, on, off)
+    _row("streaming validity (n=%d)" % length, on, off)
 
 
 def test_emptiness_ablation():
     wire = _example23_wire()
-    batch = EMPTINESS_BATCH
+    batch = _emptiness_batch()
 
     def decide():
         for _ in range(batch):
@@ -179,7 +196,7 @@ def test_emptiness_ablation():
 
 def test_parallel_lasso_grid():
     instances = [_example23_extended(True), _p_only_extended()]
-    bounds = [(2, cycle) for cycle in GRID_CYCLES]
+    bounds = [(2, cycle) for cycle in _grid_cycles()]
 
     def grid():
         outcomes = []

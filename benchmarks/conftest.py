@@ -72,9 +72,9 @@ def rng():
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Print the experiment tables, then write the BENCH_3.json report.
+    """Print the experiment tables, then write the BENCH_4.json report.
 
-    The report path defaults to ``BENCH_3.json`` in the invocation
+    The report path defaults to ``BENCH_4.json`` in the invocation
     directory and can be redirected with ``REPRO_BENCH_JSON`` (CI points
     it at the artifact staging directory); setting it to the empty string
     or ``0`` suppresses the file.
@@ -85,7 +85,7 @@ def pytest_sessionfinish(session, exitstatus):
         if rows:
             print_table(title, headers, rows)
     _print_cache_effectiveness()
-    target = os.environ.get("REPRO_BENCH_JSON", "BENCH_3.json")
+    target = os.environ.get("REPRO_BENCH_JSON", "BENCH_4.json")
     if target and target != "0":
         write_session_json(target, session.config)
         print("\nbenchmark report written to %s" % target)

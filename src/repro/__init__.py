@@ -38,6 +38,7 @@ from repro.core.projection import (
     project_extended,
     project_register_automaton,
 )
+from repro.core.pruning import prune_extended, prune_infeasible, pruning_enabled
 from repro.core.register_automaton import RegisterAutomaton, Transition
 from repro.core.runs import FiniteRun, LassoRun, find_lasso_run, generate_finite_runs
 from repro.core.streaming import StreamingChecker, StreamingViolation
@@ -81,6 +82,8 @@ __all__ = [
     # decisions
     "check_emptiness", "has_run", "EmptinessResult",
     "verify", "run_satisfies", "VerificationResult",
+    # dataflow-proved pruning
+    "prune_infeasible", "prune_extended", "pruning_enabled",
     # projections
     "project_register_automaton", "project_extended", "project_with_database",
     "equality_tracker_dfa", "inequality_tracker_dfa",

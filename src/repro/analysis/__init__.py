@@ -12,6 +12,10 @@ construction.  This package checks them up front:
   :class:`~repro.foundations.diagnostics.Report`;
 * :mod:`repro.analysis.passes_automata` -- register-automaton passes
   (``RA...`` codes);
+* :mod:`repro.analysis.dataflow` -- the forward-fixpoint dataflow
+  framework and the reachable-equality-types domain;
+* :mod:`repro.analysis.passes_dataflow` -- feasibility / constancy passes
+  proved by the dataflow fixpoint (``DF...``);
 * :mod:`repro.analysis.passes_guards` -- sigma-type passes (``GT...``);
 * :mod:`repro.analysis.passes_workflows` -- workflow-spec passes
   (``WF...``);
@@ -48,6 +52,7 @@ from repro.analysis.engine import (
 
 # Importing the pass modules registers their passes as a side effect.
 from repro.analysis import passes_automata  # noqa: F401  (registration)
+from repro.analysis import passes_dataflow  # noqa: F401  (registration)
 from repro.analysis import passes_finite  # noqa: F401  (registration)
 from repro.analysis import passes_guards  # noqa: F401  (registration)
 from repro.analysis import passes_workflows  # noqa: F401  (registration)

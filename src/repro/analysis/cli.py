@@ -11,11 +11,15 @@ one merged report per target.
 Exit status is nonzero when any ERROR-severity diagnostic was produced
 (or any WARNING, under ``--strict``), so the command slots directly into
 CI: ``for f in examples/*.py; do python -m repro.analysis "$f"; done``.
+With ``--format json`` the full report (pass id, severity, message,
+location, witness payload) is emitted as one JSON document, so CI can
+diff findings structurally instead of grepping the rendered table.
 """
 
 import argparse
 import contextlib
 import io
+import json
 import runpy
 import sys
 from functools import wraps
@@ -135,13 +139,28 @@ def main(argv: Sequence[str] = None) -> int:
         action="store_true",
         help="let the target's own stdout through instead of swallowing it",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="text renders one table per target; json emits one machine-"
+        "readable document covering every target",
+    )
     options = parser.parse_args(argv)
     min_render = Severity.INFO if options.show_info else Severity.WARNING
     fail_at = Severity.WARNING if options.strict else Severity.ERROR
     exit_code = 0
+    payload = []
     for target in options.targets:
         report = analyze_target(target, echo=options.echo)
-        print(report.render(min_severity=min_render))
+        if options.format == "json":
+            entry = report.as_dict()
+            entry["target"] = target
+            payload.append(entry)
+        else:
+            print(report.render(min_severity=min_render))
         if any(d.severity >= fail_at for d in report):
             exit_code = 1
+    if options.format == "json":
+        print(json.dumps({"reports": payload}, indent=2, sort_keys=True))
     return exit_code

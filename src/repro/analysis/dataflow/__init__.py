@@ -1,0 +1,35 @@
+"""Forward-fixpoint dataflow analyses over register automata.
+
+``framework`` is the generic worklist solver (lattice protocol, forward
+problems, budgeted fixpoints); ``equality_domain`` instantiates it with
+the reachable-equality-types domain used by the ``DF0xx`` analysis passes
+(:mod:`repro.analysis.passes_dataflow`) and the sound pruner
+(:mod:`repro.core.pruning`).  See docs/ANALYSIS.md ("Dataflow analyses")
+for the lattice, the soundness argument, and the diagnostic codes.
+"""
+
+from repro.analysis.dataflow.framework import (
+    FixpointResult,
+    ForwardProblem,
+    Lattice,
+    PowersetLattice,
+    solve_forward,
+)
+from repro.analysis.dataflow.equality_domain import (
+    DEFAULT_EDGE_BUDGET,
+    MAX_REGISTERS,
+    ReachableTypes,
+    analyze_reachable_types,
+)
+
+__all__ = [
+    "Lattice",
+    "PowersetLattice",
+    "ForwardProblem",
+    "FixpointResult",
+    "solve_forward",
+    "ReachableTypes",
+    "analyze_reachable_types",
+    "MAX_REGISTERS",
+    "DEFAULT_EDGE_BUDGET",
+]

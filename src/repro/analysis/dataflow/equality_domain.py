@@ -1,0 +1,244 @@
+"""Reachable equality types of registers, per control state.
+
+The instantiation of :mod:`repro.analysis.dataflow.framework` that powers
+the ``DF0xx`` feasibility passes and :func:`repro.core.pruning.prune_infeasible`.
+
+Abstract domain
+---------------
+For a ``k``-register automaton the domain element at a control state is a
+*set of complete equality x-types* over ``x1..xk``
+(:func:`repro.logic.types.complete_equality_x_types` -- the Bell(k) set
+partitions of the registers, hash-consed so sets compare fast).  The
+concretisation of a set ``S`` at state ``q`` is::
+
+    { register valuations d  |  the complete equality type of d is in S }
+
+Soundness invariant (checked by the tests via brute-force bounded runs):
+after solving, ``per_state[q]`` contains the equality type of **every**
+register valuation ``d`` such that some valid run prefix from an initial
+state reaches ``(q, d)``.  Initial states start at top (all types):
+initial register contents are arbitrary.
+
+The transfer function is :func:`repro.logic.types.abstract_successor_types`
+-- exact on the equality skeleton of the guard, dropping relational and
+constant facts (an over-approximation, hence sound).
+
+Budgets
+-------
+Bell numbers grow fast (B(6) = 203, B(7) = 877), so the analysis refuses
+automata with more than :data:`MAX_REGISTERS` registers and the solver
+carries an edge-evaluation budget; both failure modes return ``None`` and
+every consumer degrades to a no-op rather than an unsound answer.
+"""
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.register_automaton import RegisterAutomaton, State, Transition
+from repro.logic.literals import eq
+from repro.logic.terms import X
+from repro.logic.types import (
+    SigmaType,
+    abstract_successor_types,
+    complete_equality_x_types,
+)
+from repro.analysis.dataflow.framework import (
+    ForwardProblem,
+    PowersetLattice,
+    solve_forward,
+)
+
+__all__ = [
+    "MAX_REGISTERS",
+    "DEFAULT_EDGE_BUDGET",
+    "ReachableTypes",
+    "analyze_reachable_types",
+]
+
+#: Refuse the analysis above this register count: the domain has Bell(k)
+#: elements per state and the guard completions feeding the transfer
+#: function blow up alongside (EXPERIMENTS.md E1/E7).
+MAX_REGISTERS = 6
+
+#: Default cap on transfer-function applications in the fixpoint solver.
+#: Each state is re-queued at most Bell(k) times (its value strictly grows),
+#: so ordinary workloads stay far below this; hitting it means the
+#: automaton is too large to analyse cheaply and the caller gets ``None``.
+DEFAULT_EDGE_BUDGET = 60_000
+
+
+class _ReachableTypesProblem(ForwardProblem[FrozenSet[SigmaType]]):
+    """The forward problem: nodes are control states, labels transitions."""
+
+    def __init__(self, automaton: RegisterAutomaton) -> None:
+        self.lattice = PowersetLattice()
+        self._automaton = automaton
+        self._k = automaton.k
+        self._top = frozenset(complete_equality_x_types(automaton.k))
+
+    def nodes(self) -> Iterable[State]:
+        return self._automaton.states
+
+    def entry(self, node: State) -> FrozenSet[SigmaType]:
+        if node in self._automaton.initial:
+            return self._top
+        return frozenset()
+
+    def out_edges(self, node: State) -> Iterable[Tuple[Transition, State]]:
+        return ((t, t.target) for t in self._automaton.transitions_from(node))
+
+    def transfer(
+        self, transition: Transition, value: FrozenSet[SigmaType]
+    ) -> FrozenSet[SigmaType]:
+        guard = transition.guard
+        k = self._k
+        successors = set()
+        for phi in value:
+            successors.update(abstract_successor_types(phi, guard, k))
+        return frozenset(successors)
+
+
+class ReachableTypes:
+    """The solved analysis: reachable equality types per control state.
+
+    ``per_state[q]`` is empty exactly when no valid run prefix can reach
+    ``q`` (abstract unreachability -- a proof, since the domain
+    over-approximates).  All query methods are deterministic functions of
+    the automaton structure: no iteration order leaks from set hashing.
+    """
+
+    __slots__ = ("automaton", "per_state", "iterations", "edge_evaluations")
+
+    def __init__(
+        self,
+        automaton: RegisterAutomaton,
+        per_state: Dict[State, FrozenSet[SigmaType]],
+        iterations: int,
+        edge_evaluations: int,
+    ) -> None:
+        self.automaton = automaton
+        self.per_state = per_state
+        self.iterations = iterations
+        self.edge_evaluations = edge_evaluations
+
+    # ------------------------------------------------------------------ #
+    # feasibility queries
+    # ------------------------------------------------------------------ #
+
+    def types_at(self, state: State) -> FrozenSet[SigmaType]:
+        return self.per_state.get(state, frozenset())
+
+    def feasible(self, transition: Transition) -> bool:
+        """Whether *transition* can fire from some reachable configuration."""
+        k = self.automaton.k
+        guard = transition.guard
+        return any(
+            abstract_successor_types(phi, guard, k)
+            for phi in self.types_at(transition.source)
+        )
+
+    def feasible_from(self, state: State, guard: SigmaType) -> bool:
+        """Whether *guard* is satisfiable under some reachable type at *state*."""
+        k = self.automaton.k
+        return any(
+            abstract_successor_types(phi, guard, k) for phi in self.types_at(state)
+        )
+
+    def unreachable_states(self) -> Tuple[State, ...]:
+        """States proved unreachable by any valid run prefix (sorted)."""
+        return tuple(
+            state
+            for state in sorted(self.automaton.states, key=repr)
+            if not self.types_at(state)
+        )
+
+    def infeasible_transitions(self) -> Tuple[Transition, ...]:
+        """Transitions proved unable to fire on any valid run (stable order)."""
+        return tuple(
+            t for t in self.automaton.transitions if not self.feasible(t)
+        )
+
+    # ------------------------------------------------------------------ #
+    # witnesses and refinement facts
+    # ------------------------------------------------------------------ #
+
+    def witness_path(self, state: State) -> Optional[List[Transition]]:
+        """A feasibility-certified transition path from an initial state.
+
+        BFS over the ``(control state, equality type)`` pair graph, so every
+        step of the returned path is abstractly firable from the type
+        reached so far -- a reachability witness for the diagnostics.
+        ``None`` when *state* is (proved) unreachable.  Deterministic:
+        frontier seeding and expansion are repr-sorted.
+        """
+        automaton = self.automaton
+        k = automaton.k
+        if state in automaton.initial:
+            return []
+        parents: Dict[Tuple[State, SigmaType], Tuple] = {}
+        frontier = deque()
+        for source in sorted(automaton.initial, key=repr):
+            for phi in sorted(complete_equality_x_types(k), key=repr):
+                pair = (source, phi)
+                if pair not in parents:
+                    parents[pair] = ()
+                    frontier.append(pair)
+        while frontier:
+            source, phi = frontier.popleft()
+            for transition in automaton.transitions_from(source):
+                for psi in abstract_successor_types(phi, transition.guard, k):
+                    pair = (transition.target, psi)
+                    if pair in parents:
+                        continue
+                    parents[pair] = ((source, phi), transition)
+                    if transition.target == state:
+                        path = [transition]
+                        step = parents[(source, phi)]
+                        while step:
+                            path.append(step[1])
+                            step = parents[step[0]]
+                        path.reverse()
+                        return path
+                    frontier.append(pair)
+        return None
+
+    def forced_equalities(self, state: State) -> Tuple[Tuple[int, int], ...]:
+        """Register pairs ``(i, j)`` provably equal at *state* on every run.
+
+        Empty when the state is unreachable (no types to force anything) --
+        callers should check :meth:`types_at` first.  This is the
+        register-constancy fact consumed by the ``DF004`` refinement
+        diagnostics.
+        """
+        types = self.types_at(state)
+        if not types:
+            return ()
+        k = self.automaton.k
+        pairs = []
+        for i in range(1, k + 1):
+            for j in range(i + 1, k + 1):
+                literal = eq(X(i), X(j))
+                if all(phi.entails(literal) for phi in types):
+                    pairs.append((i, j))
+        return tuple(pairs)
+
+
+def analyze_reachable_types(
+    automaton: RegisterAutomaton,
+    max_edge_evaluations: Optional[int] = DEFAULT_EDGE_BUDGET,
+) -> Optional[ReachableTypes]:
+    """Run the reachable-equality-types analysis; ``None`` when over budget.
+
+    ``None`` means "no information" -- too many registers for the Bell-sized
+    domain, or the solver exhausted *max_edge_evaluations* -- and every
+    consumer must then behave exactly as if the analysis never ran.
+    """
+    if automaton.k > MAX_REGISTERS:
+        return None
+    problem = _ReachableTypesProblem(automaton)
+    result = solve_forward(problem, max_edge_evaluations)
+    if result is None:
+        return None
+    return ReachableTypes(
+        automaton, result.values, result.iterations, result.edge_evaluations
+    )

@@ -1,0 +1,184 @@
+"""Generic forward-fixpoint dataflow solving over finite graphs.
+
+The framework is deliberately small: a :class:`Lattice` protocol (bottom,
+join, leq, optional widen), a :class:`ForwardProblem` describing a graph
+with labelled edges and per-node entry values, and a worklist solver
+:func:`solve_forward` computing the least fixpoint of::
+
+    value(n)  >=  entry(n)  \\/  join over edges (m --label--> n) of
+                                 transfer(label, value(m))
+
+Determinism discipline: nodes are seeded in ``repr``-sorted order and the
+worklist is FIFO with membership dedup, so the number of iterations -- and
+every intermediate value -- is a pure function of the problem, independent
+of hash seeds, interning mode, and worker count.  Consumers (the pruner,
+the lasso narrowing) rely on this to keep ``REPRO_INTERN`` / ``REPRO_WORKERS``
+A/B runs byte-identical.
+
+Instantiations live next door: :mod:`repro.analysis.dataflow.equality_domain`
+runs the reachable-equality-types analysis of registers over this solver.
+"""
+
+from collections import deque
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+V = TypeVar("V")
+Node = Hashable
+Label = Hashable
+
+__all__ = [
+    "Lattice",
+    "PowersetLattice",
+    "ForwardProblem",
+    "FixpointResult",
+    "solve_forward",
+]
+
+
+class Lattice(Generic[V]):
+    """A join-semilattice with bottom; subclass and override the three ops.
+
+    ``widen`` defaults to ``join`` -- correct (and terminating) whenever
+    the lattice has finite height, which every instantiation in this
+    repository has.  Override it for infinite-height domains.
+    """
+
+    def bottom(self) -> V:
+        raise NotImplementedError
+
+    def join(self, left: V, right: V) -> V:
+        raise NotImplementedError
+
+    def leq(self, left: V, right: V) -> bool:
+        raise NotImplementedError
+
+    def widen(self, previous: V, joined: V) -> V:
+        return self.join(previous, joined)
+
+
+class PowersetLattice(Lattice[FrozenSet]):
+    """Finite powerset ordered by inclusion: bottom = empty, join = union."""
+
+    def bottom(self) -> FrozenSet:
+        return frozenset()
+
+    def join(self, left: FrozenSet, right: FrozenSet) -> FrozenSet:
+        if left <= right:
+            return right
+        if right <= left:
+            return left
+        return left | right
+
+    def leq(self, left: FrozenSet, right: FrozenSet) -> bool:
+        return left <= right
+
+
+class ForwardProblem(Generic[V]):
+    """A forward dataflow problem over a finite labelled graph.
+
+    Subclasses describe the graph (:meth:`nodes`, :meth:`out_edges`), the
+    boundary condition (:meth:`entry`), and the abstract semantics
+    (:meth:`transfer`).  The solver never inspects nodes or labels beyond
+    hashing them.
+    """
+
+    lattice: Lattice[V]
+
+    def nodes(self) -> Iterable[Node]:
+        raise NotImplementedError
+
+    def entry(self, node: Node) -> V:
+        """The boundary value injected at *node* (bottom for most nodes)."""
+        raise NotImplementedError
+
+    def out_edges(self, node: Node) -> Iterable[Tuple[Label, Node]]:
+        raise NotImplementedError
+
+    def transfer(self, label: Label, value: V) -> V:
+        raise NotImplementedError
+
+
+class FixpointResult(Generic[V]):
+    """The least fixpoint plus solver effort counters.
+
+    ``values`` maps every node to its final abstract value; ``iterations``
+    counts node visits (worklist pops), ``edge_evaluations`` counts
+    transfer-function applications.  Both counters feed the benchmark
+    tables and the budget checks in the equality-domain instantiation.
+    """
+
+    __slots__ = ("values", "iterations", "edge_evaluations")
+
+    def __init__(
+        self, values: Dict[Node, V], iterations: int, edge_evaluations: int
+    ) -> None:
+        self.values = values
+        self.iterations = iterations
+        self.edge_evaluations = edge_evaluations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "FixpointResult(%d nodes, %d iterations, %d edges)" % (
+            len(self.values),
+            self.iterations,
+            self.edge_evaluations,
+        )
+
+
+def solve_forward(
+    problem: ForwardProblem[V],
+    max_edge_evaluations: Optional[int] = None,
+) -> Optional[FixpointResult[V]]:
+    """Least solution of *problem* by FIFO worklist iteration.
+
+    Returns ``None`` when *max_edge_evaluations* transfer applications
+    are exceeded before the fixpoint is reached -- the caller treats an
+    exhausted budget as "no information" (analyses degrade to no-ops
+    rather than unsound answers).
+    """
+    lattice = problem.lattice
+    nodes: List[Node] = sorted(problem.nodes(), key=repr)
+    values: Dict[Node, V] = {}
+    worklist = deque()
+    queued = set()
+    for node in nodes:
+        values[node] = problem.entry(node)
+        worklist.append(node)
+        queued.add(node)
+    iterations = 0
+    edge_evaluations = 0
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+        iterations += 1
+        value = values[node]
+        for label, target in problem.out_edges(node):
+            edge_evaluations += 1
+            if (
+                max_edge_evaluations is not None
+                and edge_evaluations > max_edge_evaluations
+            ):
+                return None
+            contribution = problem.transfer(label, value)
+            previous = values.get(target)
+            if previous is None:
+                previous = values[target] = lattice.bottom()
+            if lattice.leq(contribution, previous):
+                continue
+            values[target] = lattice.widen(
+                previous, lattice.join(previous, contribution)
+            )
+            if target not in queued:
+                worklist.append(target)
+                queued.add(target)
+    return FixpointResult(values, iterations, edge_evaluations)

@@ -15,6 +15,7 @@ not abort the analysis: the failure becomes an ``XX000`` error diagnostic
 (an analysis bug is still a finding, not a crash).
 """
 
+from dataclasses import replace
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Type
 
 from repro.foundations.diagnostics import Diagnostic, Report, Severity, error
@@ -121,13 +122,19 @@ def analyze(
     report = Report(subject or repr(obj))
     for pass_ in selected:
         try:
-            report.extend(pass_.run(obj))
+            for diagnostic in pass_.run(obj):
+                if not diagnostic.source:
+                    diagnostic = replace(diagnostic, source=pass_.name)
+                report.add(diagnostic)
         except Exception as failure:  # an analysis bug is a finding too
             report.add(
-                error(
-                    "XX000",
-                    "pass %r crashed: %s: %s"
-                    % (pass_.name, type(failure).__name__, failure),
+                replace(
+                    error(
+                        "XX000",
+                        "pass %r crashed: %s: %s"
+                        % (pass_.name, type(failure).__name__, failure),
+                    ),
+                    source=pass_.name,
                 )
             )
     return report

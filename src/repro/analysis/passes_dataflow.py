@@ -1,0 +1,149 @@
+"""Dataflow-powered feasibility passes (``DF0xx``).
+
+These upgrade the syntactic liveness checks of
+:mod:`repro.analysis.passes_automata` (graph reachability, RA11x) into
+semantic proofs from the reachable-equality-types analysis
+(:mod:`repro.analysis.dataflow`): a state can be graph-reachable yet
+provably unreachable by any *valid* run, and a transition's guard can be
+satisfiable in isolation yet unsatisfiable under every register
+configuration that actually reaches its source.
+
+Code block (docs/ANALYSIS.md has the full table):
+
+* ``DF001`` -- transition infeasible: its guard is unsatisfiable under
+  every reachable equality type at its source.  Carries an infeasibility
+  proof (the reachable types, each inconsistent with the guard).
+* ``DF002`` -- state abstractly unreachable by any valid run even though
+  it is graph-reachable (RA110 already covers the graph-unreachable case).
+* ``DF004`` -- register-constancy fact: a register pair provably equal at
+  a state on every run reaching it.  Carries a reachability witness.
+* ``DF005`` -- analysis skipped (register count above the Bell-domain cap
+  or fixpoint budget exhausted); informational, mirrors ``RA139``.
+
+Findings carry machine-readable payloads in ``Diagnostic.data`` so the
+JSON report (``--format json``) exposes the witness / proof to CI.
+"""
+
+from dataclasses import replace
+from typing import Iterator, List, Optional
+
+from repro.core.register_automaton import RegisterAutomaton, Transition
+from repro.foundations.diagnostics import Diagnostic, info, warning
+from repro.logic.types import abstract_successor_types
+
+from repro.analysis.engine import analysis_pass
+from repro.analysis.dataflow import MAX_REGISTERS, ReachableTypes, analyze_reachable_types
+from repro.analysis.passes_automata import _forward_reachable
+
+#: Witness paths are pair-graph BFS walks; cap how many get computed per
+#: report so analysing a large automaton stays linear-ish.
+WITNESS_CAP = 10
+
+
+def _witness_payload(
+    types: ReachableTypes, state, budget: List[int]
+) -> Optional[list]:
+    """A JSON-ready reachability witness for *state*, or ``None`` past the cap."""
+    if budget[0] <= 0:
+        return None
+    budget[0] -= 1
+    path = types.witness_path(state)
+    if path is None:
+        return None
+    return [repr(transition) for transition in path]
+
+
+def _infeasibility_proof(types: ReachableTypes, transition: Transition) -> dict:
+    """The per-type refutation: every reachable source type kills the guard."""
+    k = types.automaton.k
+    source_types = sorted(
+        phi.pretty() for phi in types.types_at(transition.source)
+    )
+    refuted = [
+        phi.pretty()
+        for phi in sorted(types.types_at(transition.source), key=repr)
+        if not abstract_successor_types(phi, transition.guard, k)
+    ]
+    return {
+        "guard": transition.guard.pretty(),
+        "reachable_source_types": source_types,
+        "refuted_types": refuted,
+    }
+
+
+@analysis_pass(
+    "dataflow-feasibility",
+    RegisterAutomaton,
+    codes=("DF001", "DF002", "DF005"),
+)
+def dataflow_feasibility_pass(automaton: RegisterAutomaton) -> Iterator[Diagnostic]:
+    """Transitions and states proved dead by the equality-types fixpoint."""
+    types = analyze_reachable_types(automaton)
+    if types is None:
+        yield info(
+            "DF005",
+            "dataflow analysis skipped: more than %d registers or fixpoint "
+            "budget exhausted (the Bell-number domain is too large here)"
+            % MAX_REGISTERS,
+        )
+        return
+    witness_budget = [WITNESS_CAP]
+    graph_reachable = _forward_reachable(automaton)
+    for state in types.unreachable_states():
+        if state not in graph_reachable:
+            continue  # RA110 already reports graph-unreachable states
+        yield warning(
+            "DF002",
+            "state is graph-reachable but no valid run prefix can reach it "
+            "(proved by the reachable-equality-types fixpoint)",
+            "state %r" % (state,),
+        )
+    for transition in types.infeasible_transitions():
+        if not types.types_at(transition.source):
+            continue  # source unreachable: DF002/RA110 is the root cause
+        proof = _infeasibility_proof(types, transition)
+        witness = _witness_payload(types, transition.source, witness_budget)
+        yield replace(
+            warning(
+                "DF001",
+                "transition can never fire: guard %s is unsatisfiable under "
+                "every reachable register configuration at %r"
+                % (transition.guard.pretty(), transition.source),
+                repr(transition),
+            ),
+            data={"proof": proof, "witness_to_source": witness},
+        )
+
+
+@analysis_pass("dataflow-constancy", RegisterAutomaton, codes=("DF004",))
+def dataflow_constancy_pass(automaton: RegisterAutomaton) -> Iterator[Diagnostic]:
+    """Register pairs provably equal at a state on every run reaching it.
+
+    Informational refinement facts: they justify narrowing the candidate
+    enumeration (see :class:`repro.core.pruning.ConstraintNarrowing`) and
+    often reveal redundant registers.  Skipped silently when the analysis
+    is over budget (``DF005`` from the feasibility pass covers that).
+    """
+    if automaton.k < 2:
+        return
+    types = analyze_reachable_types(automaton)
+    if types is None:
+        return
+    witness_budget = [WITNESS_CAP]
+    for state in sorted(automaton.states, key=repr):
+        if not types.types_at(state):
+            continue
+        pairs = types.forced_equalities(state)
+        if not pairs:
+            continue
+        witness = _witness_payload(types, state, witness_budget)
+        yield replace(
+            info(
+                "DF004",
+                "registers provably aliased on every run reaching this "
+                "state: %s"
+                % ", ".join("x%d = x%d" % pair for pair in pairs),
+                "state %r" % (state,),
+            ),
+            data={"pairs": [list(pair) for pair in pairs], "witness": witness},
+        )

@@ -199,7 +199,9 @@ class BuchiAutomaton:
         """Whether the accepted omega-language is empty."""
         return self.find_accepted_lasso() is None
 
-    def iter_accepted_lassos(self, max_cycle_length: int, max_prefix_length: int):
+    def iter_accepted_lassos(
+        self, max_cycle_length: int, max_prefix_length: int, narrow=None
+    ):
         """Enumerate accepted lassos with bounded prefix/period length.
 
         Used by search procedures that must inspect several witnesses (e.g.
@@ -207,6 +209,14 @@ class BuchiAutomaton:
         The enumeration is exhaustive over the bound: every accepted lasso
         with ``len(prefix) <= max_prefix_length`` and ``len(period) <=
         max_cycle_length`` appears (possibly in non-canonical shape).
+
+        *narrow* is an optional prefix filter (e.g.
+        :class:`repro.core.pruning.ConstraintNarrowing`) exposing
+        ``empty()`` and ``step(filter_state, symbol) -> filter_state | None``.
+        Each path threads its filter state through every appended symbol; a
+        ``None`` prunes the path and its entire extension subtree.  The
+        filter only ever *skips* paths -- surviving lassos are yielded in
+        exactly the order the unfiltered enumeration would yield them.
         """
         # Enumerate simple paths from initial states up to the prefix bound,
         # then simple cycles through accepting states up to the cycle bound.
@@ -229,25 +239,39 @@ class BuchiAutomaton:
             return found
 
         def extend_paths(paths):
-            for states_path, symbols_path in paths:
+            for states_path, symbols_path, filter_state in paths:
                 for symbol, targets in sorted_edges(states_path[-1]):
+                    if narrow is None:
+                        next_filter = None
+                    else:
+                        next_filter = narrow.step(filter_state, symbol)
+                        if next_filter is None:
+                            continue
                     for target in targets:
-                        yield states_path + (target,), symbols_path + (symbol,)
+                        yield (
+                            states_path + (target,),
+                            symbols_path + (symbol,),
+                            next_filter,
+                        )
 
-        prefixes = [((state,), ()) for state in sorted(self._initial, key=repr)]
+        seed_filter = narrow.empty() if narrow is not None else None
+        prefixes = [
+            ((state,), (), seed_filter)
+            for state in sorted(self._initial, key=repr)
+        ]
         all_prefixes = list(prefixes)
         for _ in range(max_prefix_length):
             prefixes = list(extend_paths(prefixes))
             all_prefixes.extend(prefixes)
-        for states_path, symbols_path in all_prefixes:
+        for states_path, symbols_path, filter_state in all_prefixes:
             anchor = states_path[-1]
             if anchor not in self._accepting:
                 continue
             # enumerate cycles anchor -> anchor of bounded length
-            cycles = [((anchor,), ())]
+            cycles = [((anchor,), (), filter_state)]
             for _ in range(max_cycle_length):
                 cycles = list(extend_paths(cycles))
-                for cycle_states, cycle_symbols in cycles:
+                for cycle_states, cycle_symbols, _cycle_filter in cycles:
                     if cycle_states[-1] == anchor and cycle_symbols:
                         yield Lasso(symbols_path, cycle_symbols)
 

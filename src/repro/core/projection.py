@@ -65,6 +65,7 @@ from repro.core.extended import (
     lift_constraints_to_states,
 )
 from repro.core.parallel import parallel_map
+from repro.core.pruning import prune_extended, prune_infeasible
 from repro.core.register_automaton import RegisterAutomaton, State, Transition
 
 
@@ -410,6 +411,7 @@ def project_register_automaton(
         )
     if m > automaton.k:
         raise SpecificationError("cannot keep %d of %d registers" % (m, automaton.k))
+    automaton = prune_infeasible(automaton)
     normalised = _normalize(automaton)
     k = normalised.k
     projected = RegisterAutomaton(
@@ -452,6 +454,7 @@ def project_extended(
         raise SpecificationError("projection of extended automata requires no database")
     if m > extended.k:
         raise SpecificationError("cannot keep %d of %d registers" % (m, extended.k))
+    extended = prune_extended(extended)
     without_eq, _original_k = eliminate_equality_constraints(extended)
     base = _normalize(without_eq.automaton)
     # Re-target the inequality constraints at the normalised state space.

@@ -359,6 +359,42 @@ class RegisterAutomaton:
     # misc
     # ------------------------------------------------------------------ #
 
+    def restricted(
+        self,
+        states: Iterable[State],
+        transitions: Optional[Iterable] = None,
+    ) -> "RegisterAutomaton":
+        """The sub-automaton induced by *states* (and optionally *transitions*).
+
+        Keeps the given states, intersects initial/accepting with them, and
+        drops every transition with an endpoint outside.  When *transitions*
+        is given it further restricts to that set (endpoints must still be
+        kept states).  Used by :mod:`repro.core.pruning` to drop
+        proved-dead control; the result is a plain automaton with the same
+        ``k`` and signature.
+        """
+        kept_states = frozenset(states)
+        if transitions is None:
+            kept_transitions = self._transitions
+        else:
+            kept_set = {
+                entry if isinstance(entry, Transition) else Transition(*entry)
+                for entry in transitions
+            }
+            kept_transitions = tuple(t for t in self._transitions if t in kept_set)
+        return RegisterAutomaton(
+            self._k,
+            self._signature,
+            kept_states,
+            self._initial & kept_states,
+            self._accepting & kept_states,
+            (
+                t
+                for t in kept_transitions
+                if t.source in kept_states and t.target in kept_states
+            ),
+        )
+
     def rename_states(self, mapping: Dict[State, State]) -> "RegisterAutomaton":
         """Apply an injective state renaming."""
         image = [mapping.get(s, s) for s in self._states]

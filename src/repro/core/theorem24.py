@@ -57,6 +57,7 @@ from repro.core.projection import (
     equality_tracker_dfa,
     inequality_tracker_dfa,
 )
+from repro.core.pruning import prune_infeasible
 from repro.core.register_automaton import RegisterAutomaton, State, Transition
 
 
@@ -318,6 +319,7 @@ def project_with_database(automaton: RegisterAutomaton, m: int) -> EnhancedAutom
     """
     if m > automaton.k:
         raise SpecificationError("cannot keep %d of %d registers" % (m, automaton.k))
+    automaton = prune_infeasible(automaton)
     normalised = _normalize_db(automaton)
     from repro.db.schema import Signature
     from repro.automata.regex import any_of, star

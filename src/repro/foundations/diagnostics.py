@@ -16,8 +16,8 @@ and :class:`repro.foundations.errors.SpecificationError`.
 """
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
 class Severity(enum.IntEnum):
@@ -46,12 +46,19 @@ class Diagnostic:
     ``code`` identifies the check (stable across releases, documented in
     ``docs/ANALYSIS.md``); ``location`` narrows the finding inside the
     analyzed object (a transition, a state, a rule) and may be empty.
+    ``source`` names the analysis pass that produced the finding (stamped
+    by :func:`repro.analysis.engine.analyze`; empty for construction-time
+    validation).  ``data`` is an optional machine-readable payload -- e.g.
+    the reachability witness or infeasibility proof attached to the
+    ``DF0xx`` findings -- and must be JSON-serialisable when present.
     """
 
     code: str
     severity: Severity
     message: str
     location: str = ""
+    source: str = ""
+    data: Optional[object] = None
 
     def format(self) -> str:
         """The one-line rendering used by exceptions and the CLI."""
@@ -60,6 +67,17 @@ class Diagnostic:
 
     def __str__(self) -> str:
         return self.format()
+
+    def as_dict(self) -> dict:
+        """The JSON-ready form used by ``python -m repro.analysis --format json``."""
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location,
+            "source": self.source,
+            "data": self.data,
+        }
 
 
 def error(code: str, message: str, location: str = "") -> Diagnostic:
@@ -100,9 +118,9 @@ class Report:
                 if other.subject and diagnostic.location
                 else (other.subject or diagnostic.location)
             )
-            self.add(
-                Diagnostic(diagnostic.code, diagnostic.severity, diagnostic.message, location)
-            )
+            # replace() keeps every other field (source, data, and any
+            # future ones) intact; reconstructing would silently drop them.
+            self.add(replace(diagnostic, location=location))
 
     # roll-ups ---------------------------------------------------------- #
 
@@ -129,6 +147,19 @@ class Report:
     def codes(self) -> Tuple[str, ...]:
         """The distinct diagnostic codes present, in first-seen order."""
         return tuple(dict.fromkeys(d.code for d in self.diagnostics))
+
+    def as_dict(self) -> dict:
+        """The JSON-ready form: subject, ok flag, counts, all findings."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos),
+            },
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
 
     def __iter__(self) -> Iterator[Diagnostic]:
         return iter(self.diagnostics)

@@ -58,7 +58,10 @@ def _env_enabled() -> bool:
 
 
 #: Single-cell mutable flag: read on every construction, so keep it cheap.
-_ENABLED: List[bool] = [_env_enabled()]
+#: ``None`` means "not resolved yet" -- the environment is consulted on
+#: first use, not at import (ENV001: knobs are call-time, so a test runner
+#: that sets ``REPRO_INTERN`` after importing the package is honoured).
+_ENABLED: List = [None]
 
 #: Every class created through the metaclass, for table diagnostics.
 _INTERNED_CLASSES: List[type] = []
@@ -66,7 +69,10 @@ _INTERNED_CLASSES: List[type] = []
 
 def interning_enabled() -> bool:
     """Whether constructors currently intern (see ``REPRO_INTERN``)."""
-    return _ENABLED[0]
+    enabled = _ENABLED[0]
+    if enabled is None:
+        enabled = _ENABLED[0] = _env_enabled()
+    return enabled
 
 
 def set_interning(enabled: bool) -> bool:
@@ -75,7 +81,7 @@ def set_interning(enabled: bool) -> bool:
     Safe at any time: values created while disabled simply bypass the
     tables and compare structurally.
     """
-    previous = _ENABLED[0]
+    previous = interning_enabled()
     _ENABLED[0] = bool(enabled)
     return previous
 
@@ -108,7 +114,10 @@ class Interned(type):
         return cls
 
     def __call__(cls, *args, **kwargs):
-        if not _ENABLED[0]:
+        enabled = _ENABLED[0]
+        if enabled is None:
+            enabled = _ENABLED[0] = _env_enabled()
+        if not enabled:
             return super().__call__(*args, **kwargs)
         key = cls.__intern_key__(*args, **kwargs)
         table = cls.__intern_table__

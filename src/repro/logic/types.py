@@ -444,6 +444,81 @@ def advance_registers(
     return frozenset(result)
 
 
+#: Complete equality x-types per register count (the Bell(k) partitions of
+#: {x1..xk}).  Module-level so the tuples stay stable -- and shared -- even
+#: when interning is disabled.
+_COMPLETE_X_TYPES: Dict[int, Tuple["SigmaType", ...]] = {}
+
+
+def complete_equality_x_types(k: int) -> Tuple["SigmaType", ...]:
+    """All complete equality types over ``x1..xk``.
+
+    These are exactly the set partitions of the registers (blocks =
+    equality classes, distinct blocks implicitly unequal), so there are
+    Bell(k) of them: 1, 2, 5, 15, 52, 203 for k = 1..6.  They form the
+    abstract domain of the reachable-configurations dataflow analysis
+    (:mod:`repro.analysis.dataflow`): an over-approximation of the
+    register configurations reachable at a control state is a *set* of
+    these types.
+    """
+    found = _COMPLETE_X_TYPES.get(k)
+    if found is None:
+        variables = [X(i) for i in range(1, k + 1)]
+        found = _COMPLETE_X_TYPES[k] = tuple(
+            SigmaType().completions({}, variables)
+        )
+    return found
+
+
+def abstract_successor_types(
+    phi: SigmaType, delta: SigmaType, k: int
+) -> Tuple["SigmaType", ...]:
+    """Complete x-types reachable in one *delta*-step from x-type *phi*.
+
+    The transfer function of the reachable-configurations analysis:
+    conjoin the guard with the source type, read off every entailed
+    (dis)equality between the next-position registers ``y_i``, shift those
+    facts to ``x``-variables and enumerate their complete equality
+    extensions.  Sound over-approximation: if registers ``d`` satisfy
+    *phi* and ``(d, d')`` satisfies *delta*, the complete equality type of
+    ``d'`` is among the results.  Returns ``()`` exactly when
+    ``phi & delta`` is unsatisfiable -- the transition cannot fire from
+    any configuration of type *phi*.
+
+    Memoised on the guard instance per ``(phi, k)`` (shared across
+    structurally equal guards under interning, like
+    :func:`x_equality_classes`).
+    """
+    cache = delta.__dict__.get("_abstract_successors")
+    if cache is None:
+        cache = delta.__dict__["_abstract_successors"] = {}
+    found = cache.get((phi, k))
+    if found is None:
+        found = cache[(phi, k)] = _abstract_successors(phi, delta, k)
+    return found
+
+
+def _abstract_successors(
+    phi: SigmaType, delta: SigmaType, k: int
+) -> Tuple[SigmaType, ...]:
+    try:
+        joint = delta.conjoin(phi)
+    except InconsistentTypeError:
+        return ()
+    facts: List[Literal] = []
+    for i in range(1, k + 1):
+        for j in range(i + 1, k + 1):
+            positive = Literal(EqAtom(Y(i), Y(j)), True)
+            if joint.entails(positive):
+                facts.append(Literal(EqAtom(X(i), X(j)), True))
+            elif joint.entails(positive.negate()):
+                facts.append(Literal(EqAtom(X(i), X(j)), False))
+    # The facts are entailed by a satisfiable type, hence consistent.
+    base = SigmaType(facts, check=False)
+    variables = [X(i) for i in range(1, k + 1)]
+    return tuple(base.completions({}, variables))
+
+
 def equality_type(*literals: Literal) -> SigmaType:
     """Build an equality type (convenience wrapper; validates purity).
 

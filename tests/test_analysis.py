@@ -542,6 +542,33 @@ class TestCli:
         )
         assert result.returncode == 0, result.stdout + result.stderr
 
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        import json
+
+        script = tmp_path / "broken.py"
+        script.write_text(BROKEN_SCRIPT)
+        assert cli_main(["--format", "json", str(script)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload["reports"]
+        assert entry["target"] == str(script)
+        assert not entry["ok"]
+        assert entry["counts"]["error"] >= 1
+        codes = {d["code"] for d in entry["diagnostics"]}
+        assert "RA101" in codes
+        by_code = {d["code"]: d for d in entry["diagnostics"]}
+        assert by_code["RA101"]["severity"] == "error"
+        assert by_code["RA101"]["source"]  # the pass that produced it
+
+    def test_json_format_clean_script(self, tmp_path, capsys):
+        import json
+
+        script = tmp_path / "clean.py"
+        script.write_text(CLEAN_SCRIPT)
+        assert cli_main(["--format", "json", str(script)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload["reports"]
+        assert entry["ok"]
+
 
 # --------------------------------------------------------------------- #
 # the AST repo linter
@@ -632,3 +659,154 @@ class TestLintRepro:
         clean.write_text("x = 1\n")
         assert lint_repro.main([str(clean)]) == 0
         assert lint_repro.main([str(dirty)]) == 1
+
+
+class TestEnv001:
+    """ENV001: environment reads at import time."""
+
+    def _codes(self, source):
+        return [f.code for f in lint_repro.iter_findings(source, "x.py")]
+
+    def test_module_level_environ_get(self):
+        source = 'import os\nQUICK = os.environ.get("REPRO_BENCH_QUICK", "")\n'
+        assert self._codes(source) == ["ENV001"]
+
+    def test_module_level_getenv(self):
+        source = 'import os\nWORKERS = os.getenv("REPRO_WORKERS")\n'
+        assert self._codes(source) == ["ENV001"]
+
+    def test_aliased_import_tracked(self):
+        source = 'import os as operating\nX = operating.environ["HOME"]\n'
+        assert self._codes(source) == ["ENV001"]
+
+    def test_from_import_alias_tracked(self):
+        source = 'from os import environ as env\nX = env.get("HOME")\n'
+        assert self._codes(source) == ["ENV001"]
+
+    def test_from_import_getenv(self):
+        source = 'from os import getenv\nX = getenv("HOME")\n'
+        assert self._codes(source) == ["ENV001"]
+
+    def test_read_inside_function_is_fine(self):
+        source = textwrap.dedent(
+            """
+            import os
+
+            def worker_count():
+                return os.environ.get("REPRO_WORKERS", "")
+            """
+        )
+        assert self._codes(source) == []
+
+    def test_default_argument_is_import_time(self):
+        source = textwrap.dedent(
+            """
+            import os
+
+            def f(workers=os.environ.get("REPRO_WORKERS")):
+                return workers
+            """
+        )
+        assert self._codes(source) == ["ENV001"]
+
+    def test_class_body_is_import_time(self):
+        source = textwrap.dedent(
+            """
+            import os
+
+            class Config:
+                workers = os.environ.get("REPRO_WORKERS")
+            """
+        )
+        assert self._codes(source) == ["ENV001"]
+
+    def test_lambda_body_is_call_time(self):
+        source = 'import os\nreader = lambda: os.environ.get("REPRO_WORKERS")\n'
+        assert self._codes(source) == []
+
+    def test_method_body_is_call_time(self):
+        source = textwrap.dedent(
+            """
+            import os
+
+            class Config:
+                def workers(self):
+                    return os.environ.get("REPRO_WORKERS")
+            """
+        )
+        assert self._codes(source) == []
+
+    def test_unrelated_environ_attribute_not_flagged(self):
+        source = "X = settings.environ\n"
+        assert self._codes(source) == []
+
+
+# --------------------------------------------------------------------- #
+# dataflow passes (DF0xx)
+# --------------------------------------------------------------------- #
+
+
+def _infeasible_automaton():
+    """q1 forces x1 = x2; the x1 != x2 edge out of q1 can never fire."""
+    force = SigmaType([eq(X(1), X(2)), eq(X(1), Y(1)), eq(X(2), Y(2))])
+    keep = SigmaType([eq(X(1), Y(1)), eq(X(2), Y(2))])
+    split = SigmaType([neq(X(1), X(2)), eq(X(1), Y(1)), eq(X(2), Y(2))])
+    return ra(
+        2,
+        {"q0", "q1", "q2", "q3"},
+        {"q0"},
+        {"q2"},
+        [
+            ("q0", force, "q1"),
+            ("q1", keep, "q2"),
+            ("q1", split, "q3"),
+            ("q3", keep, "q3"),
+        ],
+    )
+
+
+class TestDataflowPasses:
+    def test_infeasible_transition_reported_with_proof(self):
+        report = analyze(_infeasible_automaton(), only=["dataflow-feasibility"])
+        findings = [d for d in report.warnings if d.code == "DF001"]
+        assert len(findings) == 1
+        finding = findings[0]
+        assert "q1" in finding.location and "q3" in finding.location
+        assert finding.source == "dataflow-feasibility"
+        proof = finding.data["proof"]
+        assert proof["reachable_source_types"] == proof["refuted_types"]
+        assert finding.data["witness_to_source"]  # a concrete path to q1
+
+    def test_abstractly_unreachable_state_reported(self):
+        report = analyze(_infeasible_automaton(), only=["dataflow-feasibility"])
+        unreachable = [d for d in report.warnings if d.code == "DF002"]
+        assert len(unreachable) == 1
+        assert "q3" in unreachable[0].location
+
+    def test_forced_aliasing_reported(self):
+        report = analyze(_infeasible_automaton(), only=["dataflow-constancy"])
+        aliased = [d for d in report.infos if d.code == "DF004"]
+        assert {d.location for d in aliased} >= {"state 'q1'"}
+        by_state = {d.location: d for d in aliased}
+        assert [1, 2] in [list(p) for p in by_state["state 'q1'"].data["pairs"]]
+
+    def test_feasible_automaton_is_df_clean(self):
+        report = analyze(example1(), only=["dataflow-feasibility"])
+        assert not [d for d in report.diagnostics if d.code in ("DF001", "DF002")]
+
+    def test_over_budget_automaton_reports_df005(self):
+        # k = 7 exceeds MAX_REGISTERS: the analysis declines, honestly.
+        literals = [eq(X(i), Y(i)) for i in range(1, 8)]
+        automaton = ra(7, {"a"}, {"a"}, {"a"}, [("a", SigmaType(literals), "a")])
+        report = analyze(automaton, only=["dataflow-feasibility"])
+        assert "DF005" in report.codes()
+        assert not [d for d in report.diagnostics if d.code in ("DF001", "DF002")]
+
+    def test_graph_unreachable_state_left_to_ra110(self):
+        keep = SigmaType([eq(X(1), Y(1))])
+        automaton = ra(
+            1, {"a", "island"}, {"a"}, {"a"},
+            [("a", keep, "a"), ("island", keep, "island")],
+        )
+        report = analyze(automaton, only=["dataflow-feasibility"])
+        assert "DF002" not in report.codes()

@@ -20,6 +20,12 @@ in ``id`` -- and extends the ruleset:
   ``rename``, ``with_literals``, ``eq``/``neq``/``rel``) or hoist
   construction out of the loop.  Only applies to files under
   ``repro/core``.
+* ``ENV001`` -- ``os.environ`` / ``os.getenv`` read at module import time
+  (module level, class body, or a function default argument).  Behaviour
+  knobs like ``REPRO_WORKERS`` / ``REPRO_INTERN`` / ``REPRO_PRUNE`` must
+  be read **at call time** so tests and A/B benchmark runs can flip them
+  per call; a value captured at import silently ignores later changes
+  (see ``repro.core.parallel.worker_count`` for the sanctioned pattern).
 
 Usage::
 
@@ -84,6 +90,11 @@ class _Linter(ast.NodeVisitor):
         self.findings: List[Finding] = []
         self._id_shadowed = 0
         self._hot_tree = _in_hot_tree(path)
+        # ENV001 scope tracking: 0 = import time (module level, class body,
+        # decorators and defaults of top-level functions), >0 = call time.
+        self._function_depth = 0
+        self._os_modules = {"os"}
+        self._os_aliases: set = set()
 
     def _report(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(
@@ -112,7 +123,18 @@ class _Linter(ast.NodeVisitor):
         shadowed = self._shadows_id(node)
         self._check_defaults(node)
         self._id_shadowed += shadowed
-        self.generic_visit(node)
+        # Decorators, argument defaults and annotations evaluate in the
+        # *enclosing* scope (import time for a top-level def); only the
+        # body is deferred to call time -- ENV001 depends on the split.
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        self.visit(node.args)
+        if node.returns is not None:
+            self.visit(node.returns)
+        self._function_depth += 1
+        for statement in node.body:
+            self.visit(statement)
+        self._function_depth -= 1
         self._id_shadowed -= shadowed
 
     visit_FunctionDef = _visit_function
@@ -121,7 +143,10 @@ class _Linter(ast.NodeVisitor):
     def visit_Lambda(self, node: ast.Lambda) -> None:
         shadowed = self._shadows_id(node)
         self._id_shadowed += shadowed
-        self.generic_visit(node)
+        self.visit(node.args)
+        self._function_depth += 1
+        self.visit(node.body)
+        self._function_depth -= 1
         self._id_shadowed -= shadowed
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -175,6 +200,47 @@ class _Linter(ast.NodeVisitor):
                     "mutable default argument: evaluated once and shared "
                     "across calls; default to None and build inside",
                 )
+
+    # ENV001 ------------------------------------------------------------ #
+
+    _ENV001_MESSAGE = (
+        "environment read at import time: knobs like REPRO_WORKERS / "
+        "REPRO_INTERN / REPRO_PRUNE must be read at call time so tests "
+        "and A/B runs can flip them per call (see "
+        "repro.core.parallel.worker_count)"
+    )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "os":
+                self._os_modules.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "os":
+            for alias in node.names:
+                if alias.name in ("environ", "getenv"):
+                    self._os_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            self._function_depth == 0
+            and node.attr in ("environ", "getenv")
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self._os_modules
+        ):
+            self._report(node, "ENV001", self._ENV001_MESSAGE)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if (
+            self._function_depth == 0
+            and isinstance(node.ctx, ast.Load)
+            and node.id in self._os_aliases
+        ):
+            self._report(node, "ENV001", self._ENV001_MESSAGE)
+        self.generic_visit(node)
 
     # EXC001 ------------------------------------------------------------ #
 
