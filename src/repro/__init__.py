@@ -51,6 +51,14 @@ from repro.core.symbolic import (
 from repro.core.theorem24 import project_with_database
 from repro.core.verification import VerificationResult, run_satisfies, verify
 from repro.db import Database, Signature
+from repro.foundations.resilience import (
+    Budget,
+    CancellationToken,
+    Deadline,
+    DeadlineExceeded,
+    Outcome,
+    OutcomeStatus,
+)
 from repro.logic import SigmaType, Var, X, Y, eq, neq, nrel, rel
 from repro.ltl import LtlFoSentence
 from repro.workflows import (
@@ -82,6 +90,9 @@ __all__ = [
     # decisions
     "check_emptiness", "has_run", "EmptinessResult",
     "verify", "run_satisfies", "VerificationResult",
+    # resilience (deadlines, budgets, outcomes -- docs/ROBUSTNESS.md)
+    "Deadline", "DeadlineExceeded", "Budget", "CancellationToken",
+    "Outcome", "OutcomeStatus",
     # dataflow-proved pruning
     "prune_infeasible", "prune_extended", "pruning_enabled",
     # projections

@@ -98,6 +98,10 @@ def analyze_target(target: str, echo: bool = False) -> Report:
                     target,
                     [error("XX001", "target exited with status %r" % (stop.code,))],
                 )
+        except KeyboardInterrupt:
+            # Never fold Ctrl-C into an XX001 crash report: main() turns it
+            # into a partial report and the conventional 130 exit status.
+            raise
         except BaseException as failure:
             return Report(
                 target,
@@ -150,9 +154,27 @@ def main(argv: Sequence[str] = None) -> int:
     min_render = Severity.INFO if options.show_info else Severity.WARNING
     fail_at = Severity.WARNING if options.strict else Severity.ERROR
     exit_code = 0
+    interrupted = False
     payload = []
     for target in options.targets:
-        report = analyze_target(target, echo=options.echo)
+        try:
+            report = analyze_target(target, echo=options.echo)
+        except KeyboardInterrupt:
+            # Partial-report path: whatever targets already finished are
+            # rendered normally, the interrupted one gets an honest XX002
+            # marker, and the process exits with the conventional 130 so
+            # scripts can tell "interrupted" from "findings" (1).
+            interrupted = True
+            report = Report(
+                target,
+                [
+                    error(
+                        "XX002",
+                        "analysis interrupted before this target finished; "
+                        "the report is partial",
+                    )
+                ],
+            )
         if options.format == "json":
             entry = report.as_dict()
             entry["target"] = target
@@ -161,6 +183,8 @@ def main(argv: Sequence[str] = None) -> int:
             print(report.render(min_severity=min_render))
         if any(d.severity >= fail_at for d in report):
             exit_code = 1
+        if interrupted:
+            break
     if options.format == "json":
         print(json.dumps({"reports": payload}, indent=2, sort_keys=True))
-    return exit_code
+    return 130 if interrupted else exit_code

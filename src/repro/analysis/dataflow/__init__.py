@@ -20,6 +20,7 @@ from repro.analysis.dataflow.equality_domain import (
     MAX_REGISTERS,
     ReachableTypes,
     analyze_reachable_types,
+    reachable_types_outcome,
 )
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "solve_forward",
     "ReachableTypes",
     "analyze_reachable_types",
+    "reachable_types_outcome",
     "MAX_REGISTERS",
     "DEFAULT_EDGE_BUDGET",
 ]

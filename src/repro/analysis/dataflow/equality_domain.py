@@ -27,13 +27,22 @@ Budgets
 -------
 Bell numbers grow fast (B(6) = 203, B(7) = 877), so the analysis refuses
 automata with more than :data:`MAX_REGISTERS` registers and the solver
-carries an edge-evaluation budget; both failure modes return ``None`` and
-every consumer degrades to a no-op rather than an unsound answer.
+carries an edge-evaluation budget.  Both caps live on one
+:class:`~repro.foundations.resilience.Budget` hierarchy
+(``dataflow`` -> ``registers`` / ``edges``), so every degradation is
+reported uniformly: :func:`reachable_types_outcome` returns a
+``DEGRADED`` :class:`~repro.foundations.resilience.Outcome` whose stats
+carry the budget snapshot (and an ``RS004`` event is recorded), while the
+plain :func:`analyze_reachable_types` wrapper keeps the historical
+``None``-means-no-information contract for consumers that only care
+about the value.
 """
 
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.foundations.diagnostics import Severity
+from repro.foundations.resilience import Budget, Outcome, record_event
 from repro.core.register_automaton import RegisterAutomaton, State, Transition
 from repro.logic.literals import eq
 from repro.logic.terms import X
@@ -53,6 +62,7 @@ __all__ = [
     "DEFAULT_EDGE_BUDGET",
     "ReachableTypes",
     "analyze_reachable_types",
+    "reachable_types_outcome",
 ]
 
 #: Refuse the analysis above this register count: the domain has Bell(k)
@@ -223,6 +233,52 @@ class ReachableTypes:
         return tuple(pairs)
 
 
+def reachable_types_outcome(
+    automaton: RegisterAutomaton,
+    max_edge_evaluations: Optional[int] = DEFAULT_EDGE_BUDGET,
+) -> "Outcome[ReachableTypes]":
+    """The reachable-equality-types analysis as a budgeted outcome.
+
+    ``COMPLETE`` carries the solved :class:`ReachableTypes`; ``DEGRADED``
+    carries no value and a ``reason`` of ``"register-cap"`` (more than
+    :data:`MAX_REGISTERS` registers -- the Bell-sized domain is refused
+    outright) or ``"edge-budget"`` (the fixpoint solver exhausted
+    *max_edge_evaluations* transfer applications).  Either way the stats
+    include the full budget snapshot, which is what the ``DF005``
+    diagnostic and the ``RS004`` resilience event expose to CI.  The
+    snapshot is deterministic: the solver stops on exactly the same edge
+    evaluation the historical integer cap stopped on.
+    """
+    budget = Budget("dataflow")
+    registers = budget.scope("registers", MAX_REGISTERS)
+    edges = budget.scope("edges", max_edge_evaluations)
+
+    def declined(reason: str) -> "Outcome[ReachableTypes]":
+        snapshot = budget.snapshot()
+        record_event(
+            "RS004",
+            "dataflow analysis declined (%s) for %d-register automaton"
+            % (reason, automaton.k),
+            severity=Severity.INFO,
+            location="repro.analysis.dataflow.reachable_types_outcome",
+            data={"reason": reason, "budget": snapshot},
+        )
+        return Outcome.degraded(None, reason=reason, budget=snapshot)
+
+    if not registers.charge(automaton.k):
+        return declined("register-cap")
+    problem = _ReachableTypesProblem(automaton)
+    result = solve_forward(problem, edges)
+    if result is None:
+        return declined("edge-budget")
+    return Outcome.complete(
+        ReachableTypes(
+            automaton, result.values, result.iterations, result.edge_evaluations
+        ),
+        budget=budget.snapshot(),
+    )
+
+
 def analyze_reachable_types(
     automaton: RegisterAutomaton,
     max_edge_evaluations: Optional[int] = DEFAULT_EDGE_BUDGET,
@@ -231,14 +287,8 @@ def analyze_reachable_types(
 
     ``None`` means "no information" -- too many registers for the Bell-sized
     domain, or the solver exhausted *max_edge_evaluations* -- and every
-    consumer must then behave exactly as if the analysis never ran.
+    consumer must then behave exactly as if the analysis never ran.  (The
+    richer :func:`reachable_types_outcome` says *why* and how much budget
+    was spent.)
     """
-    if automaton.k > MAX_REGISTERS:
-        return None
-    problem = _ReachableTypesProblem(automaton)
-    result = solve_forward(problem, max_edge_evaluations)
-    if result is None:
-        return None
-    return ReachableTypes(
-        automaton, result.values, result.iterations, result.edge_evaluations
-    )
+    return reachable_types_outcome(automaton, max_edge_evaluations).value

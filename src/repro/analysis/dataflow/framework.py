@@ -33,6 +33,8 @@ from typing import (
     TypeVar,
 )
 
+from repro.foundations.resilience import Budget
+
 V = TypeVar("V")
 Node = Hashable
 Label = Hashable
@@ -137,15 +139,27 @@ class FixpointResult(Generic[V]):
 
 def solve_forward(
     problem: ForwardProblem[V],
-    max_edge_evaluations: Optional[int] = None,
+    max_edge_evaluations=None,
 ) -> Optional[FixpointResult[V]]:
     """Least solution of *problem* by FIFO worklist iteration.
 
-    Returns ``None`` when *max_edge_evaluations* transfer applications
-    are exceeded before the fixpoint is reached -- the caller treats an
-    exhausted budget as "no information" (analyses degrade to no-ops
-    rather than unsound answers).
+    *max_edge_evaluations* caps transfer applications: an ``int``, or a
+    :class:`~repro.foundations.resilience.Budget` that is charged one
+    unit per application (so the caller's budget hierarchy sees exactly
+    the solver's effort, and an exhausted *ancestor* scope also stops
+    the solve).  Returns ``None`` when the cap is exceeded before the
+    fixpoint is reached -- the caller treats an exhausted budget as "no
+    information" (analyses degrade to no-ops rather than unsound
+    answers).  The stopping point is a pure function of the problem and
+    the cap: a ``Budget`` with limit ``n`` stops on exactly the same
+    edge evaluation as the plain ``int`` ``n`` did.
     """
+    if isinstance(max_edge_evaluations, Budget):
+        budget: Optional[Budget] = max_edge_evaluations
+    elif max_edge_evaluations is not None:
+        budget = Budget("edges", max_edge_evaluations)
+    else:
+        budget = None
     lattice = problem.lattice
     nodes: List[Node] = sorted(problem.nodes(), key=repr)
     values: Dict[Node, V] = {}
@@ -164,10 +178,7 @@ def solve_forward(
         value = values[node]
         for label, target in problem.out_edges(node):
             edge_evaluations += 1
-            if (
-                max_edge_evaluations is not None
-                and edge_evaluations > max_edge_evaluations
-            ):
+            if budget is not None and not budget.charge():
                 return None
             contribution = problem.transfer(label, value)
             previous = values.get(target)

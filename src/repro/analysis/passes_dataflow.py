@@ -32,7 +32,12 @@ from repro.foundations.diagnostics import Diagnostic, info, warning
 from repro.logic.types import abstract_successor_types
 
 from repro.analysis.engine import analysis_pass
-from repro.analysis.dataflow import MAX_REGISTERS, ReachableTypes, analyze_reachable_types
+from repro.analysis.dataflow import (
+    MAX_REGISTERS,
+    ReachableTypes,
+    analyze_reachable_types,
+    reachable_types_outcome,
+)
 from repro.analysis.passes_automata import _forward_reachable
 
 #: Witness paths are pair-graph BFS walks; cap how many get computed per
@@ -78,13 +83,17 @@ def _infeasibility_proof(types: ReachableTypes, transition: Transition) -> dict:
 )
 def dataflow_feasibility_pass(automaton: RegisterAutomaton) -> Iterator[Diagnostic]:
     """Transitions and states proved dead by the equality-types fixpoint."""
-    types = analyze_reachable_types(automaton)
+    outcome = reachable_types_outcome(automaton)
+    types = outcome.value
     if types is None:
-        yield info(
-            "DF005",
-            "dataflow analysis skipped: more than %d registers or fixpoint "
-            "budget exhausted (the Bell-number domain is too large here)"
-            % MAX_REGISTERS,
+        yield replace(
+            info(
+                "DF005",
+                "dataflow analysis skipped: more than %d registers or fixpoint "
+                "budget exhausted (the Bell-number domain is too large here)"
+                % MAX_REGISTERS,
+            ),
+            data=dict(outcome.stats),
         )
         return
     witness_budget = [WITNESS_CAP]

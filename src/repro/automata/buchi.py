@@ -12,6 +12,7 @@ from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional
 
 from repro.automata.words import Lasso
 from repro.foundations.errors import SpecificationError
+from repro.foundations.resilience import current_deadline
 
 State = Hashable
 
@@ -200,7 +201,7 @@ class BuchiAutomaton:
         return self.find_accepted_lasso() is None
 
     def iter_accepted_lassos(
-        self, max_cycle_length: int, max_prefix_length: int, narrow=None
+        self, max_cycle_length: int, max_prefix_length: int, narrow=None, deadline=None
     ):
         """Enumerate accepted lassos with bounded prefix/period length.
 
@@ -217,6 +218,15 @@ class BuchiAutomaton:
         ``None`` prunes the path and its entire extension subtree.  The
         filter only ever *skips* paths -- surviving lassos are yielded in
         exactly the order the unfiltered enumeration would yield them.
+
+        *deadline* is an optional
+        :class:`~repro.foundations.resilience.Deadline`; when omitted the
+        thread's ambient deadline (if any) applies.  The enumeration
+        checks it at round and anchor boundaries -- the exponential
+        fan-out happens between those points, so the checks add nothing
+        measurable -- and expiry raises
+        :class:`~repro.foundations.resilience.DeadlineExceeded` for the
+        public entry point to convert into an honest outcome.
         """
         # Enumerate simple paths from initial states up to the prefix bound,
         # then simple cycles through accepting states up to the cycle bound.
@@ -254,6 +264,11 @@ class BuchiAutomaton:
                             next_filter,
                         )
 
+        def checkpoint(site: str) -> None:
+            active = deadline if deadline is not None else current_deadline()
+            if active is not None:
+                active.check(site)
+
         seed_filter = narrow.empty() if narrow is not None else None
         prefixes = [
             ((state,), (), seed_filter)
@@ -261,15 +276,18 @@ class BuchiAutomaton:
         ]
         all_prefixes = list(prefixes)
         for _ in range(max_prefix_length):
+            checkpoint("buchi.prefix_round")
             prefixes = list(extend_paths(prefixes))
             all_prefixes.extend(prefixes)
         for states_path, symbols_path, filter_state in all_prefixes:
             anchor = states_path[-1]
             if anchor not in self._accepting:
                 continue
+            checkpoint("buchi.anchor")
             # enumerate cycles anchor -> anchor of bounded length
             cycles = [((anchor,), (), filter_state)]
             for _ in range(max_cycle_length):
+                checkpoint("buchi.cycle_round")
                 cycles = list(extend_paths(cycles))
                 for cycle_states, cycle_symbols, _cycle_filter in cycles:
                     if cycle_states[-1] == anchor and cycle_symbols:

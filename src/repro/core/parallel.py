@@ -1,4 +1,4 @@
-"""Process-parallel map with deterministic ordering (``REPRO_WORKERS``).
+"""Fault-tolerant process-parallel map with deterministic ordering.
 
 The emptiness check enumerates candidate lassos and the projection
 pipeline builds one tracker DFA per register pair; both are
@@ -23,6 +23,34 @@ worker count changes.  Workers are initialised with ``REPRO_WORKERS=1``
 so work items that themselves consult the knob (e.g. an emptiness check
 inside a benchmark grid cell) never spawn nested pools.
 
+Fault tolerance (docs/ROBUSTNESS.md)
+------------------------------------
+A dead worker (OOM kill, segfault, ``os._exit``) poisons a
+``ProcessPoolExecutor`` permanently: every in-flight and future call
+raises ``BrokenProcessPool``.  :func:`imap_chunked` recovers instead of
+crashing: the broken executor is discarded (so later calls never see a
+poisoned pool), a fresh one is spawned after an exponential backoff, and
+every not-yet-yielded chunk is resubmitted in order.  After
+``REPRO_MAX_POOL_RETRIES`` respawns (default 1) the remaining work falls
+back to the serial path, which is bit-identical by construction -- the
+consumer sees the same results in the same order, only slower.
+Unpicklable workloads degrade to serial immediately (the pool cannot
+help them).  Every recovery step records a structured diagnostic
+(``RS001``/``RS002``/``RS005``) via
+:func:`repro.foundations.resilience.record_event`; genuine exceptions
+raised by the mapped callable still propagate unchanged.
+
+A consumer that stops early (e.g. on the first realisable lasso) closes
+the generator, which cancels every not-yet-started chunk and **drains**
+the chunks already running -- no stray computation survives the
+consumer's exit.
+
+Deterministic fault injection (``REPRO_FAULTS``, see
+:mod:`repro.foundations.faults`) covers the recovery paths in tests:
+``parallel.call_chunk`` fires inside the worker per chunk (kinds
+``exit``/``raise``), ``parallel.spawn`` fires at executor creation
+(kind ``raise``).
+
 Interned logic values (:mod:`repro.foundations.interning`) re-intern on
 unpickling in the worker, so identity-keyed caches stay sound on both
 sides of the process boundary.
@@ -30,14 +58,27 @@ sides of the process boundary.
 
 import atexit
 import os
+import pickle
+import time
 from collections import deque
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import wait as _futures_wait
 from itertools import islice
 from typing import Callable, Deque, Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+from repro.foundations.faults import FaultInjected, fault
+from repro.foundations.resilience import record_event
 
 A = TypeVar("A")
 B = TypeVar("B")
 
-__all__ = ["worker_count", "imap_chunked", "parallel_map", "shutdown_executor"]
+__all__ = [
+    "worker_count",
+    "max_pool_retries",
+    "imap_chunked",
+    "parallel_map",
+    "shutdown_executor",
+]
 
 #: Chunk size used when the caller does not specify one.  Small enough to
 #: keep workers busy on short grids, large enough to amortise pickling the
@@ -67,6 +108,45 @@ def worker_count() -> int:
     return min(requested, 64)
 
 
+def max_pool_retries() -> int:
+    """Executor respawns allowed before degrading to serial (default 1).
+
+    ``REPRO_MAX_POOL_RETRIES``, read at call time; junk or negative
+    values mean the default.  ``0`` disables respawning entirely: the
+    first broken pool goes straight to the serial fallback.
+    """
+    raw = os.environ.get("REPRO_MAX_POOL_RETRIES", "").strip()
+    if not raw:
+        return 1
+    try:
+        requested = int(raw)
+    except ValueError:
+        return 1
+    if requested < 0:
+        return 1
+    return min(requested, 16)
+
+
+def _backoff_seconds() -> float:
+    """Base delay before an executor respawn (``REPRO_POOL_BACKOFF_MS``).
+
+    Doubles per retry (exponential backoff).  Defaults to 50 ms -- long
+    enough to let a transiently-overloaded host breathe, short enough
+    that tests exercising the recovery path stay fast.  ``0`` disables
+    the sleep (CI fault-smoke runs).
+    """
+    raw = os.environ.get("REPRO_POOL_BACKOFF_MS", "").strip()
+    if not raw:
+        return 0.05
+    try:
+        milliseconds = float(raw)
+    except ValueError:
+        return 0.05
+    if milliseconds < 0:
+        return 0.05
+    return milliseconds / 1000.0
+
+
 # ---------------------------------------------------------------------- #
 # executor lifecycle
 # ---------------------------------------------------------------------- #
@@ -80,13 +160,42 @@ def _init_worker() -> None:
     os.environ["REPRO_WORKERS"] = "1"
 
 
-def _get_executor(workers: int):
-    """The shared executor, (re)created when the worker count changes."""
+def _discard_executor() -> None:
+    """Drop the shared executor without waiting (it may be broken).
+
+    Resets the module state *unconditionally* -- this is the fix for the
+    poisoned-pool bug where one dead worker made every later
+    ``imap_chunked`` call fail: after a ``BrokenProcessPool`` the old
+    code kept the broken executor cached forever.
+    """
     global _EXECUTOR, _EXECUTOR_WORKERS
+    executor = _EXECUTOR
+    _EXECUTOR = None
+    _EXECUTOR_WORKERS = 0
+    if executor is not None:
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # a broken pool can fail its own shutdown
+            pass
+
+
+def _get_executor(workers: int):
+    """The shared executor, (re)created when needed.
+
+    Recreated when the worker count changes **or the cached pool is
+    broken** -- a poisoned executor is never handed out.  The
+    ``parallel.spawn`` fault site fires on every genuine creation so the
+    spawn-retry path is testable.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    if _EXECUTOR is not None and getattr(_EXECUTOR, "_broken", False):
+        _discard_executor()
     if _EXECUTOR is not None and _EXECUTOR_WORKERS == workers:
         return _EXECUTOR
     if _EXECUTOR is not None:
-        _EXECUTOR.shutdown(wait=False)
+        _discard_executor()
+    if fault("parallel.spawn") == "raise":
+        raise FaultInjected("injected executor spawn failure (parallel.spawn)")
     from concurrent.futures import ProcessPoolExecutor
 
     _EXECUTOR = ProcessPoolExecutor(max_workers=workers, initializer=_init_worker)
@@ -110,7 +219,19 @@ atexit.register(shutdown_executor)
 
 
 def _call_chunk(payload):
-    """Top-level worker entry point: apply ``fn`` to one chunk of items."""
+    """Top-level worker entry point: apply ``fn`` to one chunk of items.
+
+    The ``parallel.call_chunk`` fault site fires once per chunk *in the
+    worker process* (counters are per-process, so every fresh worker
+    counts its own chunks): ``exit`` simulates a hard worker death (OOM
+    kill), ``raise`` a workload exception that must propagate to the
+    consumer untouched.
+    """
+    kind = fault("parallel.call_chunk")
+    if kind == "exit":
+        os._exit(43)
+    if kind == "raise":
+        raise FaultInjected("injected chunk failure (parallel.call_chunk)")
     fn, chunk = payload
     return [fn(item) for item in chunk]
 
@@ -133,13 +254,21 @@ def imap_chunked(
     item at a time.  With more, chunks of *chunk_size* items are
     dispatched to the process pool with at most ``workers + 2`` chunks in
     flight (so an early consumer exit never strands an unbounded queue of
-    pickled work), and results are yielded strictly in submission order;
-    a consumer that stops early (e.g. on the first realisable lasso)
-    closes the generator, which cancels every not-yet-started chunk.
+    pickled work), and results are yielded strictly in submission order.
+    A consumer that stops early (e.g. on the first realisable lasso)
+    closes the generator, which cancels every not-yet-started chunk and
+    drains the running ones before returning.
+
+    Worker crashes are recovered (respawn + resubmit, then serial
+    fallback -- see the module docstring); the answers are identical to
+    the serial path either way.  Exceptions raised by *fn* itself
+    propagate unchanged.
 
     *fn* and the items must be picklable when a pool is used; *fn* is
     pickled once per chunk, so callables carrying large state (a whole
-    normalised automaton) amortise across the chunk.
+    normalised automaton) amortise across the chunk.  Unpicklable
+    workloads fall back to the serial path with a recorded diagnostic
+    instead of crashing.
     """
     if workers is None:
         workers = worker_count()
@@ -147,29 +276,139 @@ def imap_chunked(
         for item in items:
             yield fn(item)
         return
-    executor = _get_executor(workers)
-    iterator = iter(items)
-    pending: Deque = deque()
-    max_in_flight = workers + 2
+    yield from _imap_pool(fn, items, chunk_size, workers)
 
-    def submit_next() -> bool:
-        chunk = list(islice(iterator, chunk_size))
-        if not chunk:
-            return False
-        pending.append(executor.submit(_call_chunk, (fn, chunk)))
-        return True
+
+def _imap_pool(
+    fn: Callable[[A], B], items: Iterable[A], chunk_size: int, workers: int
+) -> Iterator[B]:
+    """The pool path of :func:`imap_chunked`, with crash recovery."""
+    iterator = iter(items)
+    # Chunks not yet yielded, in input order.  Each entry is a mutable
+    # [chunk, future-or-None] pair: recovery nulls the futures of a broken
+    # pool and resubmits the same chunks to the fresh one.
+    pending: Deque[List] = deque()
+    max_in_flight = workers + 2
+    retry_limit = max_pool_retries()
+    respawns = 0
+    delay = _backoff_seconds()
+    serial_reason = None
+
+    def refill(executor) -> None:
+        in_flight = sum(1 for entry in pending if entry[1] is not None)
+        for entry in pending:
+            if in_flight >= max_in_flight:
+                return
+            if entry[1] is None:
+                entry[1] = executor.submit(_call_chunk, (fn, entry[0]))
+                in_flight += 1
+        while in_flight < max_in_flight:
+            chunk = list(islice(iterator, chunk_size))
+            if not chunk:
+                return
+            pending.append([chunk, executor.submit(_call_chunk, (fn, chunk))])
+            in_flight += 1
+
+    def forget_futures() -> None:
+        for entry in pending:
+            entry[1] = None
 
     try:
-        while len(pending) < max_in_flight and submit_next():
-            pass
+        while serial_reason is None:
+            # -- (re)establish the pool ------------------------------- #
+            try:
+                executor = _get_executor(workers)
+            except (FaultInjected, OSError) as failure:
+                _discard_executor()
+                record_event(
+                    "RS005",
+                    "executor spawn failed: %s" % failure,
+                    data={"respawns": respawns, "retry_limit": retry_limit},
+                )
+                if respawns >= retry_limit:
+                    serial_reason = "spawn-failed"
+                    break
+                respawns += 1
+                if delay:
+                    time.sleep(delay)
+                delay *= 2
+                continue
+            # -- consume in submission order -------------------------- #
+            try:
+                refill(executor)
+                while pending:
+                    chunk, future = pending[0]
+                    results = future.result()
+                    pending.popleft()
+                    refill(executor)
+                    for result in results:
+                        yield result
+                return  # all chunks yielded on the pool path
+            except BrokenExecutor as failure:
+                _discard_executor()
+                forget_futures()
+                record_event(
+                    "RS001",
+                    "worker pool broke mid-map (%s: %s)"
+                    % (type(failure).__name__, failure),
+                    data={
+                        "respawns": respawns,
+                        "retry_limit": retry_limit,
+                        "pending_chunks": len(pending),
+                    },
+                )
+                if respawns >= retry_limit:
+                    serial_reason = "pool-broken-after-retries"
+                    break
+                respawns += 1
+                if delay:
+                    time.sleep(delay)
+                delay *= 2
+            except (pickle.PicklingError, AttributeError, TypeError):
+                # The workload cannot cross the process boundary (the queue
+                # feeder surfaces local objects as AttributeError and
+                # unpicklable extension types as TypeError, not always
+                # PicklingError); the pool itself is healthy.  Drop our
+                # futures and finish serially -- a genuine workload error
+                # hiding behind these types re-raises from the serial rerun.
+                for entry in pending:
+                    if entry[1] is not None:
+                        entry[1].cancel()
+                _drain([entry[1] for entry in pending if entry[1] is not None])
+                forget_futures()
+                serial_reason = "unpicklable-workload"
+                break
+        # -- serial fallback: bit-identical by construction ------------ #
+        record_event(
+            "RS002",
+            "parallel map degraded to the serial path (%s)" % serial_reason,
+            data={
+                "reason": serial_reason,
+                "respawns": respawns,
+                "pending_chunks": len(pending),
+            },
+        )
         while pending:
-            results = pending.popleft().result()
-            submit_next()
-            for result in results:
-                yield result
+            chunk, _future = pending.popleft()
+            for item in chunk:
+                yield fn(item)
+        for item in iterator:
+            yield fn(item)
     finally:
-        for future in pending:
+        # Early consumer exit (or any exit path): cancel what never
+        # started, drain what is running, so no stray chunk computes on
+        # after the generator is closed.
+        live = [entry[1] for entry in pending if entry[1] is not None]
+        for future in live:
             future.cancel()
+        _drain(live)
+
+
+def _drain(futures) -> None:
+    """Wait for the given futures to settle (results discarded)."""
+    not_done = [f for f in futures if not f.cancelled()]
+    if not_done:
+        _futures_wait(not_done)
 
 
 def parallel_map(

@@ -28,6 +28,7 @@ from repro.db.database import Database
 from repro.db.evaluation import evaluate_type, transition_valuation
 from repro.foundations.domain import DataValue
 from repro.foundations.errors import SpecificationError
+from repro.foundations.resilience import current_deadline
 from repro.core.caching import dead_states
 from repro.core.extended import ExtendedAutomaton
 from repro.core.register_automaton import State
@@ -181,8 +182,17 @@ class StreamingChecker:
         return None
 
     def feed_run(self, run) -> Optional[str]:
-        """Consume a whole :class:`FiniteRun` (states + data only)."""
+        """Consume a whole :class:`FiniteRun` (states + data only).
+
+        Polls the ambient deadline once per position: runs can be
+        arbitrarily long, and a whole-run replay inside a deadline scope
+        (e.g. witness validation during an emptiness check) must stay
+        interruptible.
+        """
         for state, registers in zip(run.states, run.data):
+            active = current_deadline()
+            if active is not None:
+                active.check("streaming.feed_run")
             message = self.feed(state, registers)
             if message is not None:
                 return message

@@ -40,6 +40,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.automata.dfa import Dfa
 from repro.foundations.errors import SpecificationError
+from repro.foundations.resilience import current_deadline
 from repro.core.caching import ValueCache, agreement
 from repro.logic.terms import Const, X, Y, register_index
 from repro.logic.types import SigmaType, project_type_dataless
@@ -159,6 +160,13 @@ def _literal_occurrences(automaton: RegisterAutomaton):
     return occurrences
 
 
+def _checkpoint(site: str) -> None:
+    """Poll the ambient deadline (the Theorem 24 assembly is exponential)."""
+    active = current_deadline()
+    if active is not None:
+        active.check(site)
+
+
 def _term_endpoint(term) -> Optional[Tuple[str, int]]:
     """``("x"|"y", register)`` for register terms, ``None`` for constants."""
     decomposed = register_index(term)
@@ -198,6 +206,9 @@ def relational_tuple_constraints(
     constraints: List[TupleInequalityConstraint] = []
     for neg_state, _np, relation_n, args_n in negatives:
         for pos_state, _pp, relation_p, args_p in positives:
+            # One poll per literal pair: the partition fan-out (2^arity
+            # corridor intersections) happens below this boundary.
+            _checkpoint("theorem24.literal_pair")
             if relation_n != relation_p:
                 continue
             arity = len(args_n)
@@ -353,6 +364,7 @@ def project_with_database(automaton: RegisterAutomaton, m: int) -> EnhancedAutom
     tuples: List[TupleInequalityConstraint] = []
     for i in range(1, m + 1):
         for j in range(1, m + 1):
+            _checkpoint("theorem24.register_pair")
             eq_dfa = equality_tracker_dfa(normalised, i, j)
             if not eq_dfa.is_empty():
                 equality.append(GlobalConstraint(EQ, i, j, eq_dfa))

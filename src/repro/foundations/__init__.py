@@ -15,6 +15,7 @@ from repro.foundations.errors import (
     ReproError,
     SpecificationError,
 )
+from repro.foundations.faults import FaultInjected, FaultPlan, fault, parse_fault_plan, reset_faults
 from repro.foundations.interning import (
     Interned,
     clear_intern_tables,
@@ -22,6 +23,20 @@ from repro.foundations.interning import (
     interning,
     interning_enabled,
     set_interning,
+)
+from repro.foundations.resilience import (
+    Budget,
+    CancellationToken,
+    Deadline,
+    DeadlineExceeded,
+    OperationCancelled,
+    Outcome,
+    OutcomeStatus,
+    current_deadline,
+    deadline_scope,
+    drain_events,
+    recent_events,
+    record_event,
 )
 from repro.foundations.stats import (
     CacheStats,
@@ -52,4 +67,21 @@ __all__ = [
     "cache_stats",
     "all_cache_stats",
     "reset_cache_stats",
+    "Deadline",
+    "DeadlineExceeded",
+    "OperationCancelled",
+    "Budget",
+    "CancellationToken",
+    "Outcome",
+    "OutcomeStatus",
+    "current_deadline",
+    "deadline_scope",
+    "record_event",
+    "recent_events",
+    "drain_events",
+    "FaultInjected",
+    "FaultPlan",
+    "fault",
+    "parse_fault_plan",
+    "reset_faults",
 ]

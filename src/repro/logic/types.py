@@ -29,6 +29,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 from repro.foundations.errors import InconsistentTypeError
 from repro.foundations.interning import interning_enabled, register_intern_table
+from repro.foundations.resilience import current_deadline
 from repro.foundations.stats import cache_stats
 from repro.logic.closure import EqualityClosure
 from repro.logic.literals import Atom, EqAtom, Literal, RelAtom
@@ -308,6 +309,15 @@ class SigmaType:
         obligations = self._completion_obligations(relations, variables, constants)
 
         def extend(current: SigmaType, index: int) -> Iterator[SigmaType]:
+            # One ambient-deadline poll per search node: this enumeration is
+            # the exponential blow-up the paper warns about, and the poll is
+            # a thread-local read (plus one clock read under a deadline), so
+            # even doubly-exponential searches stay interruptible for free.
+            # An expiry aborts before the completions memo is assigned, so a
+            # partial enumeration never poisons the cache.
+            active = current_deadline()
+            if active is not None:
+                active.check("types.completions")
             while index < len(obligations):
                 positive = Literal(obligations[index], True)
                 if current.entails(positive) or current.entails(positive.negate()):

@@ -741,6 +741,45 @@ class TestEnv001:
         assert self._codes(source) == []
 
 
+class TestTime001:
+    """TIME001: wall-clock time.time() for durations/deadlines."""
+
+    def _codes(self, source):
+        return [f.code for f in lint_repro.iter_findings(source, "x.py")]
+
+    def test_time_time_flagged(self):
+        source = "import time\ndef f():\n    return time.time()\n"
+        assert self._codes(source) == ["TIME001"]
+
+    def test_module_level_time_time_flagged(self):
+        source = "import time\nSTART = time.time()\n"
+        assert self._codes(source) == ["TIME001"]
+
+    def test_aliased_module_tracked(self):
+        source = "import time as clock\ndef f():\n    return clock.time()\n"
+        assert self._codes(source) == ["TIME001"]
+
+    def test_from_import_tracked(self):
+        source = "from time import time\ndef f():\n    return time()\n"
+        assert self._codes(source) == ["TIME001"]
+
+    def test_from_import_alias_tracked(self):
+        source = "from time import time as now\ndef f():\n    return now()\n"
+        assert self._codes(source) == ["TIME001"]
+
+    def test_monotonic_and_perf_counter_ok(self):
+        source = (
+            "import time\n"
+            "def f():\n"
+            "    return time.monotonic() + time.perf_counter()\n"
+        )
+        assert self._codes(source) == []
+
+    def test_unrelated_time_attribute_not_flagged(self):
+        source = "def f(stamp):\n    return stamp.time()\n"
+        assert self._codes(source) == []
+
+
 # --------------------------------------------------------------------- #
 # dataflow passes (DF0xx)
 # --------------------------------------------------------------------- #

@@ -1,0 +1,757 @@
+"""The resilient execution layer: deadlines, budgets, faults, recovery.
+
+Four layers under test:
+
+* the vocabulary (``repro.foundations.resilience``): monotonic deadlines
+  with ambient scoping, hierarchical budgets, cancellation tokens,
+  outcome taxonomy, and the structured RS00x event log;
+* the fault harness (``repro.foundations.faults``): ``REPRO_FAULTS``
+  parsing, per-site occurrence counters, call-time re-parsing;
+* the hardened parallel map (``repro.core.parallel``): worker-crash
+  recovery (respawn, then bit-identical serial fallback), the
+  poisoned-executor regression, spawn retries, unpicklable-workload
+  degradation, and the early-consumer-exit drain;
+* deadline-aware procedures: ``check_emptiness`` returning honest
+  ``TIMEOUT`` outcomes, the Buchi enumeration, guard completion,
+  Theorem 24 and streaming checkpoints, the budgeted dataflow analysis,
+  and the CLI's partial-report interrupt path.
+
+Hypothesis properties pin the two acceptance contracts: deadline-expired
+emptiness outcomes are UNKNOWN-monotone (a longer deadline never flips a
+definite verdict), and fault-injected parallel runs answer byte-
+identically to the serial path.
+"""
+
+import functools
+import os
+import random
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Budget,
+    CancellationToken,
+    Deadline,
+    DeadlineExceeded,
+    ExtendedAutomaton,
+    GlobalConstraint,
+    Outcome,
+    OutcomeStatus,
+    RegisterAutomaton,
+    SigmaType,
+    Signature,
+    StreamingChecker,
+    X,
+    Y,
+    check_emptiness,
+    eq,
+    project_with_database,
+)
+from repro.analysis.cli import main as cli_main
+from repro.analysis.dataflow import (
+    DEFAULT_EDGE_BUDGET,
+    analyze_reachable_types,
+    reachable_types_outcome,
+)
+from repro.automata.regex import concat, literal, plus
+from repro.core.parallel import (
+    imap_chunked,
+    max_pool_retries,
+    parallel_map,
+    shutdown_executor,
+    worker_count,
+)
+from repro.core.runs import FiniteRun
+from repro.db.database import Database
+from repro.foundations.faults import (
+    FaultInjected,
+    fault,
+    fault_hits,
+    parse_fault_plan,
+    reset_faults,
+)
+from repro.foundations.resilience import (
+    OperationCancelled,
+    current_deadline,
+    deadline_scope,
+    drain_events,
+    recent_events,
+)
+from repro.generators import random_extended_automaton
+
+
+# --------------------------------------------------------------------- #
+# fixtures and helpers
+# --------------------------------------------------------------------- #
+
+
+def _example23(constrained=True):
+    """The Example 2/3 automaton (with the q1 q2+ q1 inequality factor)."""
+    d1 = SigmaType([eq(X(1), X(2)), eq(X(2), Y(2))])
+    d2 = SigmaType([eq(X(2), Y(2))])
+    d3 = SigmaType([eq(X(2), Y(2)), eq(Y(1), Y(2))])
+    automaton = RegisterAutomaton(
+        2,
+        Signature.empty(),
+        {"q1", "q2"},
+        {"q1"},
+        {"q1"},
+        [("q1", d1, "q2"), ("q2", d2, "q2"), ("q2", d3, "q1")],
+    )
+    constraints = []
+    if constrained:
+        factor = concat(literal("q1"), plus(literal("q2")), literal("q1"))
+        constraints = [GlobalConstraint("neq", 1, 1, factor)]
+    return ExtendedAutomaton(automaton, constraints)
+
+
+def _fingerprint(result):
+    witness = result.witness
+    return (
+        result.empty,
+        result.exact,
+        result.candidates_checked,
+        result.max_prefix,
+        result.max_cycle,
+        None if witness is None else witness.trace,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_harness(monkeypatch):
+    """Every test starts with no faults, no events, and a fresh pool."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_DEADLINE_MS", raising=False)
+    monkeypatch.setenv("REPRO_POOL_BACKOFF_MS", "0")
+    reset_faults()
+    drain_events()
+    yield
+    reset_faults()
+    drain_events()
+    shutdown_executor()
+
+
+@pytest.fixture
+def two_workers(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    assert worker_count() == 2
+    yield
+    shutdown_executor()
+
+
+def _square(x):
+    return x * x
+
+
+def _mark_and_sleep(directory, item):
+    with open(os.path.join(directory, "item-%d" % item), "w") as handle:
+        handle.write("done")
+    time.sleep(0.05)
+    return item
+
+
+# --------------------------------------------------------------------- #
+# Deadline
+# --------------------------------------------------------------------- #
+
+
+class TestDeadline:
+    def test_generous_deadline_does_not_expire(self):
+        deadline = Deadline(3600)
+        assert not deadline.expired()
+        deadline.check("unit")  # must not raise
+        assert deadline.remaining() > 3000
+        assert deadline.budget_ms == pytest.approx(3_600_000)
+
+    def test_zero_deadline_expires_immediately(self):
+        deadline = Deadline(0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("unit")
+
+    def test_check_message_names_the_site(self):
+        with pytest.raises(DeadlineExceeded, match="lasso-loop"):
+            Deadline(0).check("lasso-loop")
+
+    def test_from_env_parsing(self, monkeypatch):
+        for raw, expected in [
+            ("", None),
+            ("   ", None),
+            ("junk", None),
+            ("-5", None),
+            ("250", 250.0),
+            ("0", 0.0),
+        ]:
+            monkeypatch.setenv("REPRO_DEADLINE_MS", raw)
+            deadline = Deadline.from_env()
+            if expected is None:
+                assert deadline is None
+            else:
+                assert deadline.budget_ms == pytest.approx(expected)
+        monkeypatch.delenv("REPRO_DEADLINE_MS")
+        assert Deadline.from_env() is None
+
+    def test_resolve(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEADLINE_MS", raising=False)
+        assert Deadline.resolve(None) is None
+        monkeypatch.setenv("REPRO_DEADLINE_MS", "100")
+        assert Deadline.resolve(None).budget_ms == pytest.approx(100.0)
+        existing = Deadline(5)
+        assert Deadline.resolve(existing) is existing
+        assert Deadline.resolve(0).expired()
+        assert Deadline.resolve(60_000).budget_ms == pytest.approx(60_000)
+
+    def test_ambient_scope_nesting(self):
+        assert current_deadline() is None
+        outer, inner = Deadline(100), Deadline(50)
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            with deadline_scope(None):  # no-op scope keeps the outer visible
+                assert current_deadline() is outer
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_scope_pops_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline(100)):
+                raise RuntimeError("boom")
+        assert current_deadline() is None
+
+
+# --------------------------------------------------------------------- #
+# Budget
+# --------------------------------------------------------------------- #
+
+
+class TestBudget:
+    def test_unlimited_budget_never_exhausts(self):
+        budget = Budget("root")
+        assert budget.charge(10_000)
+        assert not budget.exhausted
+        assert budget.remaining() is None
+
+    def test_limit_is_exceeded_not_reached(self):
+        budget = Budget("edges", 3)
+        for _ in range(3):
+            assert budget.charge()  # spending up to the limit is fine
+        assert not budget.exhausted
+        assert not budget.charge()  # the 4th unit tips it over
+        assert budget.exhausted
+        assert budget.spent == 4
+        assert budget.remaining() == 0
+
+    def test_child_charges_ancestors(self):
+        root = Budget("root", 10)
+        child = root.scope("child")
+        child.charge(4)
+        assert root.spent == 4
+        assert child.spent == 4
+
+    def test_exhausted_ancestor_stops_child(self):
+        root = Budget("root", 2)
+        child = root.scope("child", 100)
+        assert child.charge(2)
+        assert not child.charge()  # root is over, child's own limit is not
+        assert child.exhausted
+
+    def test_sibling_scopes_share_the_root(self):
+        root = Budget("dataflow", 5)
+        left, right = root.scope("left"), root.scope("right")
+        left.charge(3)
+        right.charge(3)
+        assert root.spent == 6
+        assert root.exhausted
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        root = Budget("dataflow")
+        root.scope("registers", 6).charge(2)
+        root.scope("edges", 100).charge(7)
+        snapshot = root.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["spent"] == 9
+        children = {c["name"]: c for c in snapshot["children"]}
+        assert children["registers"]["spent"] == 2
+        assert children["edges"]["limit"] == 100
+
+
+# --------------------------------------------------------------------- #
+# CancellationToken and Outcome
+# --------------------------------------------------------------------- #
+
+
+class TestTokenAndOutcome:
+    def test_token_fires_once_and_keeps_reason(self):
+        token = CancellationToken()
+        token.check("anywhere")  # live: no raise
+        token.cancel("shutdown requested")
+        token.cancel("second reason ignored")
+        assert token.cancelled
+        with pytest.raises(OperationCancelled, match="shutdown requested"):
+            token.check("loop")
+
+    def test_outcome_constructors(self):
+        done = Outcome.complete(42, items=3)
+        assert done.ok and done.value == 42 and done.stats == {"items": 3}
+        late = Outcome.timeout(candidates_checked=7)
+        assert not late.ok
+        assert late.status is OutcomeStatus.TIMEOUT
+        assert late.as_dict() == {
+            "status": "timeout",
+            "stats": {"candidates_checked": 7},
+        }
+        assert Outcome.degraded(reason="edge-budget").status is OutcomeStatus.DEGRADED
+        assert Outcome.cancelled().status is OutcomeStatus.CANCELLED
+
+
+# --------------------------------------------------------------------- #
+# the fault harness
+# --------------------------------------------------------------------- #
+
+
+class TestFaultPlan:
+    def test_parse_single_entry(self):
+        plan = parse_fault_plan("parallel.call_chunk:exit:1")
+        assert plan.fire("parallel.call_chunk") == "exit"
+        assert plan.fire("parallel.call_chunk") is None  # nth=1 only
+
+    def test_parse_range_and_star(self):
+        plan = parse_fault_plan("a:raise:2-3,b:exit:*")
+        assert [plan.fire("a") for _ in range(4)] == [None, "raise", "raise", None]
+        assert [plan.fire("b") for _ in range(3)] == ["exit"] * 3
+
+    def test_default_selector_is_every_hit(self):
+        plan = parse_fault_plan("site:raise")
+        assert [plan.fire("site") for _ in range(2)] == ["raise", "raise"]
+
+    def test_counters_are_per_site(self):
+        plan = parse_fault_plan("a:raise:2")
+        assert plan.fire("b") is None  # unrelated site still counts its own
+        assert plan.fire("a") is None
+        assert plan.fire("a") == "raise"
+        assert plan.hits("a") == 2 and plan.hits("b") == 1
+
+    @pytest.mark.parametrize("bad", ["justasite", "a:b:c:d", ":kind:1", "site::1"])
+    def test_malformed_plans_fail_loudly(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_plan(bad)
+
+    def test_env_plan_reparses_on_change(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "site:raise:2")
+        assert fault("site") is None
+        assert fault("site") == "raise"
+        # changing the knob resets occurrence numbering
+        monkeypatch.setenv("REPRO_FAULTS", "site:raise:1")
+        assert fault("site") == "raise"
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert fault("site") is None
+        assert fault_hits("site") == 0
+
+
+# --------------------------------------------------------------------- #
+# parallel: knobs and plain behaviour
+# --------------------------------------------------------------------- #
+
+
+class TestParallelKnobs:
+    def test_max_pool_retries_parsing(self, monkeypatch):
+        for raw, expected in [
+            ("", 1),
+            ("0", 0),
+            ("3", 3),
+            ("junk", 1),
+            ("-1", 1),
+            ("999", 16),
+        ]:
+            monkeypatch.setenv("REPRO_MAX_POOL_RETRIES", raw)
+            assert max_pool_retries() == expected
+        monkeypatch.delenv("REPRO_MAX_POOL_RETRIES")
+        assert max_pool_retries() == 1
+
+    def test_pool_path_matches_serial(self, two_workers):
+        items = list(range(37))
+        assert parallel_map(_square, items, chunk_size=4) == [_square(i) for i in items]
+
+
+# --------------------------------------------------------------------- #
+# parallel: crash recovery (the tentpole scenarios)
+# --------------------------------------------------------------------- #
+
+
+class TestPoolRecovery:
+    def test_worker_crash_recovers_with_identical_results(
+        self, two_workers, monkeypatch
+    ):
+        """Every fresh worker dies on its first chunk: respawn once, then the
+        serial fallback -- and the consumer sees the exact serial answers."""
+        monkeypatch.setenv("REPRO_FAULTS", "parallel.call_chunk:exit:1")
+        items = list(range(23))
+        results = parallel_map(_square, items, chunk_size=4)
+        assert results == [_square(i) for i in items]
+        broken = recent_events("RS001")
+        degraded = recent_events("RS002")
+        assert len(broken) >= 1  # at least the first crash was recovered
+        assert len(degraded) == 1  # exactly one serial degradation
+        assert degraded[0].data["reason"] == "pool-broken-after-retries"
+
+    def test_zero_retries_goes_straight_to_serial(self, two_workers, monkeypatch):
+        """REPRO_MAX_POOL_RETRIES=0: the first broken pool skips the respawn
+        and finishes on the serial path."""
+        monkeypatch.setenv("REPRO_FAULTS", "parallel.call_chunk:exit:1")
+        monkeypatch.setenv("REPRO_MAX_POOL_RETRIES", "0")
+        items = list(range(30))
+        results = parallel_map(_square, items, chunk_size=4)
+        assert results == [_square(i) for i in items]
+        assert len(recent_events("RS001")) == 1  # no second pool was tried
+        assert len(recent_events("RS002")) == 1
+
+    def test_executor_is_not_poisoned_after_crash(self, two_workers, monkeypatch):
+        """Regression: a broken pool used to stay cached forever, failing every
+        later imap_chunked call in the process."""
+        monkeypatch.setenv("REPRO_FAULTS", "parallel.call_chunk:exit:1")
+        assert parallel_map(_square, list(range(9)), chunk_size=2) == [
+            _square(i) for i in range(9)
+        ]
+        # Faults off: the next call must get a fresh, healthy pool.
+        monkeypatch.delenv("REPRO_FAULTS")
+        reset_faults()
+        drain_events()
+        assert parallel_map(_square, list(range(40)), chunk_size=4) == [
+            _square(i) for i in range(40)
+        ]
+        assert recent_events("RS001") == ()
+        assert recent_events("RS002") == ()
+
+    def test_spawn_failure_retries_then_succeeds(self, two_workers, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "parallel.spawn:raise:1")
+        shutdown_executor()  # force a genuine spawn on the next call
+        items = list(range(12))
+        assert parallel_map(_square, items, chunk_size=3) == [_square(i) for i in items]
+        spawn_events = recent_events("RS005")
+        assert len(spawn_events) == 1
+        assert recent_events("RS002") == ()  # the retry made the pool work
+
+    def test_persistent_spawn_failure_degrades_to_serial(
+        self, two_workers, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "parallel.spawn:raise:*")
+        shutdown_executor()
+        items = list(range(12))
+        assert parallel_map(_square, items, chunk_size=3) == [_square(i) for i in items]
+        assert len(recent_events("RS005")) == 2  # initial + one retry
+        degraded = recent_events("RS002")
+        assert len(degraded) == 1
+        assert degraded[0].data["reason"] == "spawn-failed"
+
+    def test_unpicklable_workload_falls_back_to_serial(self, two_workers):
+        unpicklable = lambda x: x + 1  # noqa: E731  -- deliberately unpicklable
+        items = list(range(10))
+        assert parallel_map(unpicklable, items, chunk_size=2) == [i + 1 for i in items]
+        degraded = recent_events("RS002")
+        assert len(degraded) == 1
+        assert degraded[0].data["reason"] == "unpicklable-workload"
+
+    def test_genuine_exceptions_still_propagate(self, two_workers, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "parallel.call_chunk:raise:1")
+        with pytest.raises(FaultInjected):
+            parallel_map(_square, list(range(8)), chunk_size=2)
+
+    def test_early_exit_drains_running_chunks(self, two_workers, tmp_path):
+        """Closing the generator cancels pending chunks and waits out the
+        running ones: no stray results appear after the close returns."""
+        fn = functools.partial(_mark_and_sleep, str(tmp_path))
+        results = imap_chunked(fn, list(range(40)), chunk_size=4)
+        first = next(results)
+        assert first == 0
+        results.close()  # cancel + drain
+        after_close = len(list(tmp_path.iterdir()))
+        time.sleep(0.5)
+        after_wait = len(list(tmp_path.iterdir()))
+        assert after_close == after_wait, "chunks kept computing after close"
+        # Bounded in-flight means most of the work was never dispatched.
+        assert after_close <= 24
+
+    def test_crash_recovery_on_emptiness_matches_serial(
+        self, two_workers, monkeypatch
+    ):
+        """The acceptance scenario: Example 2/3 emptiness under worker crashes
+        answers byte-identically to the serial run, without raising."""
+        extended = _example23(constrained=True)
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        serial = _fingerprint(check_emptiness(extended, max_prefix=2, max_cycle=4))
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_FAULTS", "parallel.call_chunk:exit:1")
+        recovered = _fingerprint(check_emptiness(extended, max_prefix=2, max_cycle=4))
+        assert recovered == serial
+
+
+# --------------------------------------------------------------------- #
+# emptiness deadlines
+# --------------------------------------------------------------------- #
+
+
+class TestEmptinessDeadline:
+    def test_expired_deadline_returns_timeout_outcome(self):
+        result = check_emptiness(_example23(), deadline=0)
+        assert result.verdict == "unknown"
+        assert result.outcome is not None
+        assert result.outcome.status is OutcomeStatus.TIMEOUT
+        assert result.empty and not result.exact  # same epistemic state as a bound
+        assert result.outcome.stats["candidates_checked"] == result.candidates_checked
+        events = recent_events("RS003")
+        assert len(events) == 1
+
+    def test_env_knob_is_read_at_call_time(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEADLINE_MS", "0")
+        result = check_emptiness(_example23(constrained=False))
+        assert result.verdict == "unknown"
+        monkeypatch.delenv("REPRO_DEADLINE_MS")
+        # same call, knob unset: the definite answer comes back
+        assert check_emptiness(_example23(constrained=False)).verdict == "nonempty"
+
+    def test_generous_deadline_matches_no_deadline(self):
+        bare = _fingerprint(check_emptiness(_example23(), max_prefix=2, max_cycle=4))
+        timed = check_emptiness(
+            _example23(), max_prefix=2, max_cycle=4, deadline=Deadline(3600)
+        )
+        assert _fingerprint(timed) == bare
+        assert timed.outcome is None  # completed: no degradation to report
+
+    def test_fault_forced_expiry_is_deterministic(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "emptiness.lasso:deadline:2")
+        first = check_emptiness(_example23(), max_prefix=2, max_cycle=4)
+        reset_faults()
+        second = check_emptiness(_example23(), max_prefix=2, max_cycle=4)
+        assert first.verdict == second.verdict == "unknown"
+        assert first.candidates_checked == second.candidates_checked == 1
+        assert first.outcome.stats == second.outcome.stats
+
+    def test_fault_forced_expiry_identical_under_workers(
+        self, two_workers, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "emptiness.lasso:deadline:2")
+        parallel = check_emptiness(_example23(), max_prefix=2, max_cycle=4)
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        reset_faults()
+        serial = check_emptiness(_example23(), max_prefix=2, max_cycle=4)
+        assert parallel.outcome.stats == serial.outcome.stats
+        assert parallel.candidates_checked == serial.candidates_checked == 1
+
+    def test_cancellation_token_produces_cancelled_outcome(self):
+        token = CancellationToken()
+        token.cancel("user hit stop")
+        result = check_emptiness(_example23(), cancel=token)
+        assert result.verdict == "unknown"
+        assert result.outcome.status is OutcomeStatus.CANCELLED
+
+    def test_interrupt_fault_propagates_keyboard_interrupt(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "emptiness.lasso:interrupt:1")
+        with pytest.raises(KeyboardInterrupt):
+            check_emptiness(_example23())
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        cutoff=st.integers(min_value=1, max_value=6),
+    )
+    def test_unknown_monotone(self, seed, cutoff):
+        """A truncated run either says UNKNOWN or agrees with the full run."""
+        extended = random_extended_automaton(
+            random.Random(seed),
+            k=2,
+            n_states=3,
+            n_transitions=4,
+            n_constraints=2,
+            equality_fraction=0.0,
+        )
+        try:
+            os.environ["REPRO_FAULTS"] = "emptiness.lasso:deadline:%d" % cutoff
+            reset_faults()
+            truncated = check_emptiness(extended, max_prefix=1, max_cycle=3)
+        finally:
+            os.environ.pop("REPRO_FAULTS", None)
+            reset_faults()
+        full = check_emptiness(extended, max_prefix=1, max_cycle=3)
+        if truncated.verdict != "unknown":
+            # the cutoff never fired or fired after the answer: verdicts agree
+            assert truncated.verdict == full.verdict
+        assert truncated.candidates_checked <= full.candidates_checked or (
+            full.verdict == "nonempty"
+        )
+
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_fault_injected_parallel_matches_serial(self, seed):
+        """Crashing workers never change the answer or the progress stats."""
+        extended = random_extended_automaton(
+            random.Random(seed),
+            k=2,
+            n_states=3,
+            n_transitions=4,
+            n_constraints=2,
+            equality_fraction=0.0,
+        )
+        serial = _fingerprint(check_emptiness(extended, max_prefix=1, max_cycle=3))
+        try:
+            os.environ["REPRO_WORKERS"] = "2"
+            os.environ["REPRO_FAULTS"] = "parallel.call_chunk:exit:1"
+            os.environ["REPRO_POOL_BACKOFF_MS"] = "0"
+            reset_faults()
+            injected = _fingerprint(
+                check_emptiness(extended, max_prefix=1, max_cycle=3)
+            )
+        finally:
+            os.environ.pop("REPRO_WORKERS", None)
+            os.environ.pop("REPRO_FAULTS", None)
+            reset_faults()
+            shutdown_executor()
+        assert injected == serial
+
+
+# --------------------------------------------------------------------- #
+# deadline checkpoints in the deep layers
+# --------------------------------------------------------------------- #
+
+
+class TestDeepCheckpoints:
+    def test_buchi_enumeration_honours_explicit_deadline(self):
+        from repro.core.symbolic import scontrol_buchi
+
+        buchi = scontrol_buchi(_example23(constrained=False).automaton)
+        with pytest.raises(DeadlineExceeded):
+            list(buchi.iter_accepted_lassos(3, 2, deadline=Deadline(0)))
+        # and the ambient deadline works without the parameter
+        with deadline_scope(Deadline(0)):
+            with pytest.raises(DeadlineExceeded):
+                list(buchi.iter_accepted_lassos(3, 2))
+
+    def test_completions_interruptible_and_memo_unpoisoned(self):
+        relations = {"R": 1}
+        variables = (X(1), X(2))
+        base = SigmaType([eq(X(1), X(1))])
+        with deadline_scope(Deadline(0)):
+            with pytest.raises(DeadlineExceeded):
+                list(base.completions(relations, variables))
+        # The aborted enumeration must not have seeded the memo: a fresh
+        # call enumerates the full set, matching a structurally disjoint
+        # twin with the same combinatorics.
+        survived = list(base.completions(relations, variables))
+        twin = SigmaType([eq(Y(1), Y(1))]).completions(relations, (Y(1), Y(2)))
+        assert len(survived) == len(list(twin))
+        assert len(survived) > 0
+
+    def test_theorem24_interruptible(self, example23_automaton):
+        with deadline_scope(Deadline(0)):
+            with pytest.raises(DeadlineExceeded):
+                project_with_database(example23_automaton, 1)
+
+    def test_streaming_feed_run_interruptible(self):
+        extended = _example23(constrained=False)
+        checker = StreamingChecker(
+            extended, Database(Signature.empty()), strict=False
+        )
+        run = FiniteRun((("a", "a"),), ("q1",), ())
+        with deadline_scope(Deadline(0)):
+            with pytest.raises(DeadlineExceeded):
+                checker.feed_run(run)
+
+
+# --------------------------------------------------------------------- #
+# budgeted dataflow
+# --------------------------------------------------------------------- #
+
+
+def _tiny_automaton(k=2):
+    guard = SigmaType([eq(X(1), Y(1))])
+    return RegisterAutomaton(
+        k,
+        Signature.empty(),
+        {"a", "b"},
+        {"a"},
+        {"b"},
+        [("a", guard, "b"), ("b", guard, "a")],
+    )
+
+
+class TestDataflowBudget:
+    def test_register_cap_degrades_with_snapshot(self):
+        wide = _tiny_automaton(k=7)
+        outcome = reachable_types_outcome(wide)
+        assert outcome.status is OutcomeStatus.DEGRADED
+        assert outcome.value is None
+        assert outcome.stats["reason"] == "register-cap"
+        children = {c["name"]: c for c in outcome.stats["budget"]["children"]}
+        assert children["registers"]["spent"] == 7
+        assert children["registers"]["exhausted"]
+        assert analyze_reachable_types(wide) is None  # wrapper contract intact
+        events = recent_events("RS004")
+        assert events and events[-1].data["reason"] == "register-cap"
+
+    def test_edge_budget_degrades_exactly_like_the_int_cap(self):
+        automaton = _tiny_automaton()
+        full = reachable_types_outcome(automaton, DEFAULT_EDGE_BUDGET)
+        assert full.ok
+        evaluations = full.value.edge_evaluations
+        assert evaluations > 0
+        # budget == actual effort: completes (the cap is exceeded, not reached)
+        assert reachable_types_outcome(automaton, evaluations).ok
+        # one unit less: degrades, and the snapshot shows where it stopped
+        starved = reachable_types_outcome(automaton, evaluations - 1)
+        assert starved.status is OutcomeStatus.DEGRADED
+        assert starved.stats["reason"] == "edge-budget"
+        children = {c["name"]: c for c in starved.stats["budget"]["children"]}
+        assert children["edges"]["spent"] == evaluations
+        assert analyze_reachable_types(automaton, evaluations - 1) is None
+
+    def test_df005_diagnostic_carries_budget_data(self):
+        from repro.analysis.passes_dataflow import dataflow_feasibility_pass
+
+        findings = list(dataflow_feasibility_pass.run(_tiny_automaton(k=7)))
+        assert [f.code for f in findings] == ["DF005"]
+        assert findings[0].data["reason"] == "register-cap"
+        assert findings[0].data["budget"]["children"]
+
+
+# --------------------------------------------------------------------- #
+# CLI interrupt
+# --------------------------------------------------------------------- #
+
+
+class TestCliInterrupt:
+    def test_interrupt_yields_partial_report_and_130(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        interrupted = tmp_path / "interrupted.py"
+        interrupted.write_text("raise KeyboardInterrupt\n")
+        never = tmp_path / "never.py"
+        never.write_text("x = 2\n")
+        code = cli_main([str(good), str(interrupted), str(never)])
+        assert code == 130
+        output = capsys.readouterr().out
+        assert "XX002" in output
+
+    def test_interrupt_json_payload_is_partial(self, tmp_path, capsys):
+        import json
+
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        interrupted = tmp_path / "interrupted.py"
+        interrupted.write_text("raise KeyboardInterrupt\n")
+        never = tmp_path / "never.py"
+        never.write_text("x = 2\n")
+        code = cli_main(
+            ["--format", "json", str(good), str(interrupted), str(never)]
+        )
+        assert code == 130
+        payload = json.loads(capsys.readouterr().out)
+        targets = [entry["target"] for entry in payload["reports"]]
+        assert str(never) not in targets  # analysis stopped at the interrupt
+        flat = json.dumps(payload)
+        assert "XX002" in flat

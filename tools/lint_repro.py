@@ -26,6 +26,12 @@ in ``id`` -- and extends the ruleset:
   be read **at call time** so tests and A/B benchmark runs can flip them
   per call; a value captured at import silently ignores later changes
   (see ``repro.core.parallel.worker_count`` for the sanctioned pattern).
+* ``TIME001`` -- call to ``time.time()``.  The wall clock steps under NTP
+  corrections and DST, so it must never measure durations or arm
+  deadlines; use ``time.monotonic()`` (deadlines -- see
+  ``repro.foundations.resilience.Deadline``) or ``time.perf_counter()``
+  (benchmark timing).  Wall-clock *timestamps* for display belong in
+  ``datetime`` APIs, which the rule leaves alone.
 
 Usage::
 
@@ -95,6 +101,8 @@ class _Linter(ast.NodeVisitor):
         self._function_depth = 0
         self._os_modules = {"os"}
         self._os_aliases: set = set()
+        self._time_modules = {"time"}
+        self._time_aliases: set = set()
 
     def _report(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(
@@ -163,7 +171,28 @@ class _Linter(ast.NodeVisitor):
                 "collection and must never serve as cache/dedup keys",
             )
         self._check_hot_construction(node)
+        self._check_wall_clock(node)
         self.generic_visit(node)
+
+    # TIME001 ------------------------------------------------------------ #
+
+    _TIME001_MESSAGE = (
+        "time.time() is the steppable wall clock: durations and deadlines "
+        "must use time.monotonic() (see repro.foundations.resilience."
+        "Deadline) or time.perf_counter() for benchmark timing"
+    )
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        callee = node.func
+        if (
+            isinstance(callee, ast.Attribute)
+            and callee.attr == "time"
+            and isinstance(callee.value, ast.Name)
+            and callee.value.id in self._time_modules
+        ):
+            self._report(node, "TIME001", self._TIME001_MESSAGE)
+        elif isinstance(callee, ast.Name) and callee.id in self._time_aliases:
+            self._report(node, "TIME001", self._TIME001_MESSAGE)
 
     # HC001 ------------------------------------------------------------- #
 
@@ -214,6 +243,8 @@ class _Linter(ast.NodeVisitor):
         for alias in node.names:
             if alias.name == "os":
                 self._os_modules.add(alias.asname or alias.name)
+            if alias.name == "time":
+                self._time_modules.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -221,6 +252,10 @@ class _Linter(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in ("environ", "getenv"):
                     self._os_aliases.add(alias.asname or alias.name)
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    self._time_aliases.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
