@@ -156,35 +156,43 @@ def main(argv: Sequence[str] = None) -> int:
     exit_code = 0
     interrupted = False
     payload = []
-    for target in options.targets:
-        try:
-            report = analyze_target(target, echo=options.echo)
-        except KeyboardInterrupt:
-            # Partial-report path: whatever targets already finished are
-            # rendered normally, the interrupted one gets an honest XX002
-            # marker, and the process exits with the conventional 130 so
-            # scripts can tell "interrupted" from "findings" (1).
-            interrupted = True
-            report = Report(
-                target,
-                [
-                    error(
-                        "XX002",
-                        "analysis interrupted before this target finished; "
-                        "the report is partial",
-                    )
-                ],
-            )
+    # One try around the whole target loop: a Ctrl-C landing anywhere --
+    # inside analyze_target, during render()/JSON assembly, or between
+    # targets -- takes the partial-report path instead of escaping as a
+    # traceback.  Whatever targets already finished are rendered
+    # normally, the in-progress one gets an honest XX002 marker, and the
+    # process exits with the conventional 130 so scripts can tell
+    # "interrupted" from "findings" (1).
+    current = options.targets[0]
+    try:
+        for current in options.targets:
+            report = analyze_target(current, echo=options.echo)
+            if options.format == "json":
+                entry = report.as_dict()
+                entry["target"] = current
+                payload.append(entry)
+            else:
+                print(report.render(min_severity=min_render))
+            if any(d.severity >= fail_at for d in report):
+                exit_code = 1
+    except KeyboardInterrupt:
+        interrupted = True
+        marker = Report(
+            current,
+            [
+                error(
+                    "XX002",
+                    "analysis interrupted before this target finished; "
+                    "the report is partial",
+                )
+            ],
+        )
         if options.format == "json":
-            entry = report.as_dict()
-            entry["target"] = target
+            entry = marker.as_dict()
+            entry["target"] = current
             payload.append(entry)
         else:
-            print(report.render(min_severity=min_render))
-        if any(d.severity >= fail_at for d in report):
-            exit_code = 1
-        if interrupted:
-            break
+            print(marker.render(min_severity=min_render))
     if options.format == "json":
         print(json.dumps({"reports": payload}, indent=2, sort_keys=True))
     return 130 if interrupted else exit_code

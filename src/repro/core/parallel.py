@@ -293,8 +293,10 @@ def _imap_pool(
     respawns = 0
     delay = _backoff_seconds()
     serial_reason = None
+    iterator_failed = False
 
     def refill(executor) -> None:
+        nonlocal iterator_failed
         in_flight = sum(1 for entry in pending if entry[1] is not None)
         for entry in pending:
             if in_flight >= max_in_flight:
@@ -303,10 +305,25 @@ def _imap_pool(
                 entry[1] = executor.submit(_call_chunk, (fn, entry[0]))
                 in_flight += 1
         while in_flight < max_in_flight:
-            chunk = list(islice(iterator, chunk_size))
+            # The caller's iterator may raise anything, including the
+            # types the unpicklable-workload classifier below catches;
+            # flag its failures so they propagate instead of being
+            # mistaken for a pickling problem (the generator is dead
+            # after raising, so a serial "rerun" could never surface it).
+            try:
+                chunk = list(islice(iterator, chunk_size))
+            except BaseException:
+                iterator_failed = True
+                raise
             if not chunk:
                 return
-            pending.append([chunk, executor.submit(_call_chunk, (fn, chunk))])
+            # Enqueue before submitting: the chunk is already consumed
+            # from the iterator, so if submit raises (broken pool) it
+            # must stay in pending for recovery to resubmit -- otherwise
+            # it would vanish from the output entirely.
+            entry = [chunk, None]
+            pending.append(entry)
+            entry[1] = executor.submit(_call_chunk, (fn, chunk))
             in_flight += 1
 
     def forget_futures() -> None:
@@ -340,9 +357,21 @@ def _imap_pool(
                     chunk, future = pending[0]
                     results = future.result()
                     pending.popleft()
-                    refill(executor)
+                    # The popleft'd chunk is no longer resubmittable, so
+                    # its results MUST reach the consumer before any
+                    # failure from refill (a broken pool surfacing at
+                    # submit time) enters recovery -- otherwise a whole
+                    # fetched chunk would silently vanish.  Hold the
+                    # failure, yield, then let it take the normal path.
+                    refill_failure = None
+                    try:
+                        refill(executor)
+                    except BaseException as exc:
+                        refill_failure = exc
                     for result in results:
                         yield result
+                    if refill_failure is not None:
+                        raise refill_failure
                 return  # all chunks yielded on the pool path
             except BrokenExecutor as failure:
                 _discard_executor()
@@ -371,6 +400,11 @@ def _imap_pool(
                 # PicklingError); the pool itself is healthy.  Drop our
                 # futures and finish serially -- a genuine workload error
                 # hiding behind these types re-raises from the serial rerun.
+                # An exception from the caller's *items* iterator is neither:
+                # the generator is already terminated, so it must propagate
+                # now (the serial path would silently see an empty iterator).
+                if iterator_failed:
+                    raise
                 for entry in pending:
                     if entry[1] is not None:
                         entry[1].cancel()

@@ -134,13 +134,18 @@ class Deadline:
         """Normalise a user-facing ``deadline=`` argument.
 
         ``None`` falls back to ``REPRO_DEADLINE_MS``; a number is taken
-        as milliseconds; a :class:`Deadline` passes through.
+        as milliseconds; a :class:`Deadline` passes through.  A negative
+        number means "no deadline", matching :meth:`from_env` -- it is
+        never clamped into an instantly-expired deadline.
         """
         if value is None:
             return cls.from_env()
         if isinstance(value, Deadline):
             return value
-        return cls.after_ms(value)
+        milliseconds = float(value)
+        if milliseconds < 0:
+            return None
+        return cls.after_ms(milliseconds)
 
     @property
     def budget_ms(self) -> float:

@@ -204,6 +204,10 @@ class TestDeadline:
         assert Deadline.resolve(existing) is existing
         assert Deadline.resolve(0).expired()
         assert Deadline.resolve(60_000).budget_ms == pytest.approx(60_000)
+        # negative means "no deadline", matching from_env -- never an
+        # instantly-expired one
+        assert Deadline.resolve(-5) is None
+        assert Deadline.resolve(-0.1) is None
 
     def test_ambient_scope_nesting(self):
         assert current_deadline() is None
@@ -400,6 +404,33 @@ class TestPoolRecovery:
         assert len(broken) >= 1  # at least the first crash was recovered
         assert len(degraded) == 1  # exactly one serial degradation
         assert degraded[0].data["reason"] == "pool-broken-after-retries"
+
+    def test_late_worker_crash_loses_no_results(self, monkeypatch):
+        """Regression: workers that complete some chunks before dying must
+        not lose fetched-but-unyielded results.  With exit:2-5 every fresh
+        worker finishes its first chunk, then dies -- the pool can break
+        while the head chunk's results are in hand, exactly the window
+        where the old code dropped whole chunks on the floor."""
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        monkeypatch.setenv("REPRO_FAULTS", "parallel.call_chunk:exit:2-5")
+        items = list(range(120))
+        expected = [_square(i) for i in items]
+        for _ in range(3):  # the loss was timing-dependent: repeat
+            assert parallel_map(_square, items, chunk_size=4) == expected
+
+    def test_iterator_exceptions_propagate(self, two_workers):
+        """An items iterator raising TypeError/AttributeError must propagate,
+        not be mistaken for an unpicklable workload (whose serial fallback
+        would silently truncate: the generator is already terminated)."""
+
+        def blows_up():
+            yield from range(8)
+            raise TypeError("iterator blew up")
+
+        with pytest.raises(TypeError, match="iterator blew up"):
+            list(imap_chunked(_square, blows_up(), chunk_size=2))
+        degraded = recent_events("RS002")
+        assert degraded == ()  # no bogus serial degradation was recorded
 
     def test_zero_retries_goes_straight_to_serial(self, two_workers, monkeypatch):
         """REPRO_MAX_POOL_RETRIES=0: the first broken pool skips the respawn
@@ -736,6 +767,30 @@ class TestCliInterrupt:
         assert code == 130
         output = capsys.readouterr().out
         assert "XX002" in output
+
+    def test_interrupt_during_render_still_partial(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A Ctrl-C landing in report rendering (after analysis finished)
+        must still produce the XX002 partial report and exit 130, not a
+        traceback."""
+        from repro.foundations.diagnostics import Report
+
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        original = Report.render
+        fired = []
+
+        def interrupting_render(self, **kwargs):
+            if not fired:
+                fired.append(True)
+                raise KeyboardInterrupt
+            return original(self, **kwargs)
+
+        monkeypatch.setattr(Report, "render", interrupting_render)
+        code = cli_main([str(good)])
+        assert code == 130
+        assert "XX002" in capsys.readouterr().out
 
     def test_interrupt_json_payload_is_partial(self, tmp_path, capsys):
         import json
