@@ -1,0 +1,351 @@
+"""E17 (PR 6) -- antichain partition-code domain vs the explicit Bell(k) powerset.
+
+Two experiments, recorded as rows in the session table (and hence in
+``BENCH_6.json``):
+
+* **dataflow fixpoint A/B over a register grid**: the reachable-types
+  analysis on a mesh automaton whose guards each mention two registers --
+  the shape the sigma-reduction was built for.  For every k where the
+  explicit domain still runs (k <= 6) both modes are timed and their
+  results asserted identical (per-state type sets, feasibility verdicts);
+  above that the antichain rows run alone, which is the point -- the
+  explicit domain cannot.  The ``elements`` column counts stored domain
+  elements (types vs intervals) and ``reduction`` the ratio between the
+  types an antichain *represents* (its downward closure, via
+  :func:`repro.logic.types.interval_size`) and the intervals it *stores*;
+  the in-bench assertion requires the reduction to stay
+  Bell(k)-proportional from k = 5 up, i.e. the win is superlinear in the
+  domain size, not a constant factor.
+* **emptiness + pruning at k = 8**: the constrained-emptiness pipeline on
+  an eight-register automaton with complete guards and a dead junk
+  subgraph.  Under ``REPRO_ANTICHAIN=1`` the dataflow proves the junk
+  dead and the pruner removes it before normalisation; under ``=0`` the
+  analysis declines (k = 8 is over the explicit cap) and the pipeline
+  gracefully walks the junk.  The verdict and the winning witness must be
+  byte-identical either way.
+
+Between A/B modes every shared cache is cleared, so neither mode serves
+entries computed by the other.  Quick mode (``REPRO_BENCH_QUICK=1``)
+shrinks the register grid and the repeat count; all knobs are read at
+call time (ENV001).
+"""
+
+import gc
+import os
+import statistics
+import time
+
+from repro import (
+    ExtendedAutomaton,
+    GlobalConstraint,
+    RegisterAutomaton,
+    SigmaType,
+    Signature,
+    X,
+    Y,
+    check_emptiness,
+    eq,
+    neq,
+)
+from repro.analysis.dataflow import (
+    EXPLICIT_MAX_REGISTERS,
+    reachable_types_outcome,
+)
+from repro.automata.regex import concat, literal
+from repro.core.caching import clear_value_caches
+from repro.foundations.interning import clear_intern_tables
+from repro.logic import types as types_module
+from repro.logic.types import interval_size
+
+from _tables import register_table
+
+#: Bell numbers B(1)..B(10): the explicit domain sizes the antichain dodges.
+BELL = (1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975)
+
+
+def _quick():
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _repeats():
+    return 3 if _quick() else 5
+
+
+def _ab_grid():
+    """Register counts where both modes run (explicit cap permitting)."""
+    return (2, 3, 4, 5) if _quick() else (2, 3, 4, 5, 6)
+
+
+def _antichain_grid():
+    """Register counts only the antichain domain can handle."""
+    return (8,) if _quick() else (7, 8, 10)
+
+
+ROWS_FIXPOINT = []
+ROWS_EMPTINESS = []
+
+
+def _median_seconds(fn, repeats=None):
+    if repeats is None:
+        repeats = _repeats()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _fresh_caches():
+    clear_value_caches()
+    clear_intern_tables()
+    gc.collect()
+
+
+class _antichain_mode:
+    """Pin ``REPRO_ANTICHAIN`` for one A/B leg (restores on exit)."""
+
+    def __init__(self, enabled):
+        self.value = "1" if enabled else "0"
+
+    def __enter__(self):
+        self.previous = os.environ.get("REPRO_ANTICHAIN")
+        os.environ["REPRO_ANTICHAIN"] = self.value
+
+    def __exit__(self, *exc_info):
+        if self.previous is None:
+            os.environ.pop("REPRO_ANTICHAIN", None)
+        else:
+            os.environ["REPRO_ANTICHAIN"] = self.previous
+
+
+# ---------------------------------------------------------------------- #
+# workloads
+# ---------------------------------------------------------------------- #
+
+EMPTY_SIG = Signature.empty()
+
+MESH_STATES = 6
+
+
+def _mesh_automaton(k):
+    """A state cycle whose guards each mention two (rotating) registers.
+
+    Unmentioned registers are unconstrained across each step, so the
+    explicit domain carries close to Bell(k) types at every state while
+    each antichain transfer only enumerates Bell(2) sigma-restrictions --
+    the exact workload shape the sigma-reduction targets.
+    """
+    states = ["s%d" % index for index in range(MESH_STATES)]
+    transitions = []
+    for index in range(MESH_STATES):
+        a = index % k + 1
+        b = a % k + 1
+        merge = SigmaType([eq(X(a), X(b)), eq(X(a), Y(b))])
+        split = SigmaType([neq(X(a), X(b)), eq(X(b), Y(a))])
+        target = states[(index + 1) % MESH_STATES]
+        transitions.append((states[index], merge, target))
+        transitions.append((states[index], split, target))
+    return RegisterAutomaton(
+        k, EMPTY_SIG, set(states), {states[0]}, {states[-1]}, transitions
+    )
+
+
+def _complete_k8_extended():
+    """Complete-guard k=8 automaton with a provably dead junk subgraph.
+
+    One outgoing guard per state keeps normalisation the identity whether
+    or not the pruner ran, so the two modes' witnesses compare byte for
+    byte (mirrors ``tests/test_antichain.py``).
+    """
+    k = 8
+    chain = lambda terms: [eq(left, right) for left, right in zip(terms, terms[1:])]
+    xs = [X(i) for i in range(1, k + 1)]
+    ys = [Y(i) for i in range(1, k + 1)]
+    all_equal = SigmaType(chain(xs + ys))
+    x1_apart = SigmaType(chain(xs[1:] + ys) + [neq(X(1), X(2))])
+    automaton = RegisterAutomaton(
+        k,
+        EMPTY_SIG,
+        {"q0", "q1", "mid", "junk"},
+        {"q0"},
+        {"q1", "junk"},
+        [
+            ("q0", all_equal, "q1"),
+            ("q0", all_equal, "mid"),
+            ("q1", all_equal, "q1"),
+            ("mid", x1_apart, "junk"),
+            ("junk", x1_apart, "junk"),
+        ],
+    )
+    factor = concat(literal("q0"), literal("q0"))  # never matches
+    return ExtendedAutomaton(automaton, [GlobalConstraint("neq", 1, 1, factor)])
+
+
+# ---------------------------------------------------------------------- #
+# experiments
+# ---------------------------------------------------------------------- #
+
+
+def _solve(automaton):
+    outcome = reachable_types_outcome(automaton)
+    assert outcome.ok
+    # Rebuild-free repeats would be unrealistically cheap: drop the
+    # transfer-function memos so every round pays the transfer.
+    types_module._ABSTRACT_SUCCESSORS.clear()
+    types_module._SUCCESSOR_ATOMS.clear()
+    return outcome.value
+
+
+def _state_fingerprint(types):
+    automaton = types.automaton
+    return (
+        {
+            state: frozenset(phi.pretty() for phi in types.types_at(state))
+            for state in automaton.states
+        },
+        tuple(types.feasible(t) for t in automaton.transitions),
+        types.unreachable_states(),
+    )
+
+
+def _antichain_elements(types):
+    """(stored intervals, represented types) over all states."""
+    k = types.automaton.k
+    stored = represented = 0
+    for state in types.automaton.states:
+        intervals = types.intervals_at(state)
+        stored += len(intervals)
+        represented += sum(
+            interval_size(e_mask, d_mask, k) for e_mask, d_mask in intervals
+        )
+    return stored, represented
+
+
+def test_fixpoint_ab_over_register_grid():
+    for k in _ab_grid():
+        automaton = _mesh_automaton(k)
+        with _antichain_mode(True):
+            _fresh_caches()
+            symbolic = _solve(automaton)
+            antichain_time = _median_seconds(lambda: _solve(automaton))
+        with _antichain_mode(False):
+            _fresh_caches()
+            explicit = _solve(automaton)
+            explicit_time = _median_seconds(lambda: _solve(automaton))
+        _fresh_caches()
+
+        # Identity is part of the experiment, not just the test suite.
+        if k <= 5:
+            assert _state_fingerprint(symbolic) == _state_fingerprint(explicit)
+        stored, represented = _antichain_elements(symbolic)
+        explicit_elements = sum(
+            len(explicit.types_at(state)) for state in automaton.states
+        )
+        assert represented == explicit_elements
+        reduction = represented / stored
+        if k >= 5:
+            # The acceptance bar: the antichain's win grows with Bell(k),
+            # it is not a constant-factor trick.
+            assert reduction >= BELL[k - 1] / 4
+        ROWS_FIXPOINT.append(
+            (
+                "k=%d" % k,
+                BELL[k - 1],
+                "%.4f" % antichain_time,
+                "%.4f" % explicit_time,
+                "%.2fx" % (explicit_time / antichain_time),
+                "%d/%d" % (stored, explicit_elements),
+                "%.0fx" % reduction,
+            )
+        )
+
+
+def test_fixpoint_beyond_the_explicit_cap():
+    for k in _antichain_grid():
+        assert k > EXPLICIT_MAX_REGISTERS
+        automaton = _mesh_automaton(k)
+        with _antichain_mode(True):
+            _fresh_caches()
+            symbolic = _solve(automaton)
+            antichain_time = _median_seconds(lambda: _solve(automaton))
+        with _antichain_mode(False):
+            declined = reachable_types_outcome(automaton)
+            assert not declined.ok  # the explicit domain cannot play at all
+        _fresh_caches()
+
+        stored, represented = _antichain_elements(symbolic)
+        reduction = represented / stored
+        assert reduction >= BELL[k - 1] / 4
+        ROWS_FIXPOINT.append(
+            (
+                "k=%d" % k,
+                BELL[k - 1],
+                "%.4f" % antichain_time,
+                "-",
+                "-",
+                "%d/%d" % (stored, represented),
+                "%.0fx" % reduction,
+            )
+        )
+
+
+def test_emptiness_pruning_at_eight_registers():
+    def decide():
+        return check_emptiness(_complete_k8_extended(), max_prefix=3, max_cycle=3)
+
+    with _antichain_mode(True):
+        _fresh_caches()
+        pruned_result = decide()  # also warms within-mode caches
+        pruned_time = _median_seconds(decide)
+    with _antichain_mode(False):
+        _fresh_caches()
+        baseline_result = decide()
+        baseline_time = _median_seconds(decide)
+    _fresh_caches()
+
+    assert not pruned_result.empty
+    assert pruned_result.witness.trace == baseline_result.witness.trace
+    assert pruned_result.empty == baseline_result.empty
+    assert pruned_result.exact == baseline_result.exact
+
+    ROWS_EMPTINESS.append(
+        (
+            "emptiness + junk pruning (k=8, complete guards)",
+            "%.4f" % pruned_time,
+            "%.4f" % baseline_time,
+            "%.2fx" % (baseline_time / pruned_time),
+            "%d/%d"
+            % (
+                pruned_result.candidates_checked,
+                baseline_result.candidates_checked,
+            ),
+        )
+    )
+
+
+register_table(
+    "E17 (PR 6): antichain vs explicit dataflow domain",
+    [
+        "registers",
+        "Bell(k)",
+        "antichain [s]",
+        "explicit [s]",
+        "speedup",
+        "elements a/e",
+        "reduction",
+    ],
+    ROWS_FIXPOINT,
+)
+
+register_table(
+    "E17 (PR 6): antichain-enabled pruning in constrained emptiness",
+    [
+        "experiment",
+        "antichain [s]",
+        "ablated [s]",
+        "speedup",
+        "candidates a/b",
+    ],
+    ROWS_EMPTINESS,
+)

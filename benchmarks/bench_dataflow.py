@@ -47,6 +47,7 @@ from repro import (
     neq,
 )
 from repro.analysis.dataflow import analyze_reachable_types
+from repro.logic import types as types_module
 from repro.automata.regex import concat, literal, plus
 from repro.core.caching import clear_value_caches
 from repro.foundations.interning import clear_intern_tables
@@ -239,9 +240,9 @@ def test_fixpoint_cost():
         types = analyze_reachable_types(automaton)
         assert types is not None
         # Rebuild-free repeat would be unrealistically cheap: drop the
-        # per-automaton successor memo so every round pays the transfer.
-        for transition in automaton.transitions:
-            transition.guard.__dict__.pop("_abstract_successors", None)
+        # transfer-function memos so every round pays the transfer.
+        types_module._ABSTRACT_SUCCESSORS.clear()
+        types_module._SUCCESSOR_ATOMS.clear()
         return types
 
     _fresh_caches()

@@ -13,25 +13,33 @@ from repro.analysis.dataflow.framework import (
     ForwardProblem,
     Lattice,
     PowersetLattice,
+    SubsumptionLattice,
     solve_forward,
 )
 from repro.analysis.dataflow.equality_domain import (
     DEFAULT_EDGE_BUDGET,
+    EXPLICIT_MAX_REGISTERS,
     MAX_REGISTERS,
     ReachableTypes,
+    SymbolicReachableTypes,
     analyze_reachable_types,
+    antichain_enabled,
     reachable_types_outcome,
 )
 
 __all__ = [
     "Lattice",
     "PowersetLattice",
+    "SubsumptionLattice",
     "ForwardProblem",
     "FixpointResult",
     "solve_forward",
     "ReachableTypes",
+    "SymbolicReachableTypes",
     "analyze_reachable_types",
+    "antichain_enabled",
     "reachable_types_outcome",
     "MAX_REGISTERS",
+    "EXPLICIT_MAX_REGISTERS",
     "DEFAULT_EDGE_BUDGET",
 ]

@@ -38,6 +38,7 @@ plain :func:`analyze_reachable_types` wrapper keeps the historical
 about the value.
 """
 
+import os
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
@@ -49,26 +50,54 @@ from repro.logic.terms import X
 from repro.logic.types import (
     SigmaType,
     abstract_successor_types,
+    all_pairs_mask,
     complete_equality_x_types,
+    decode_partition_code,
+    enumerate_interval_codes,
+    interval_contains,
+    pair_bits,
+    successor_atoms,
 )
 from repro.analysis.dataflow.framework import (
     ForwardProblem,
     PowersetLattice,
+    SubsumptionLattice,
     solve_forward,
 )
 
 __all__ = [
     "MAX_REGISTERS",
+    "EXPLICIT_MAX_REGISTERS",
     "DEFAULT_EDGE_BUDGET",
+    "antichain_enabled",
     "ReachableTypes",
+    "SymbolicReachableTypes",
     "analyze_reachable_types",
     "reachable_types_outcome",
 ]
 
-#: Refuse the analysis above this register count: the domain has Bell(k)
-#: elements per state and the guard completions feeding the transfer
-#: function blow up alongside (EXPERIMENTS.md E1/E7).
-MAX_REGISTERS = 6
+#: Refuse the analysis above this register count.  The antichain domain
+#: (partition-code intervals with subsumption pruning) never materialises
+#: the Bell(k) lattice, so the cap is far above the old explicit limit;
+#: the edge budget below remains the real guard for huge automata.
+MAX_REGISTERS = 12
+
+#: The historical cap for the explicit powerset domain, still enforced when
+#: the antichain is ablated away (``REPRO_ANTICHAIN=0``): the explicit
+#: domain enumerates Bell(k) types per state, which is only tolerable up to
+#: B(6) = 203 (EXPERIMENTS.md E1/E7).
+EXPLICIT_MAX_REGISTERS = 6
+
+
+def antichain_enabled() -> bool:
+    """Whether the antichain (interval) domain is active.
+
+    On by default; ``REPRO_ANTICHAIN=0`` falls back to the explicit
+    Bell(k) powerset domain (A/B ablations, and the CI leg that keeps the
+    old path green).  Read at call time, like every behaviour knob.
+    """
+    raw = os.environ.get("REPRO_ANTICHAIN", "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
 
 #: Default cap on transfer-function applications in the fixpoint solver.
 #: Each state is re-queued at most Bell(k) times (its value strictly grows),
@@ -108,6 +137,54 @@ class _ReachableTypesProblem(ForwardProblem[FrozenSet[SigmaType]]):
         return frozenset(successors)
 
 
+#: An interval (atom) of partition codes: ``(e, d)`` denotes every
+#: partition whose code contains all bits of ``e`` and none of ``d``.
+Interval = Tuple[int, int]
+
+#: The full interval -- no pair forced equal or apart -- i.e. "all types".
+TOP_INTERVAL: Interval = (0, 0)
+
+
+class _ReachableIntervalsProblem(ForwardProblem[FrozenSet[Interval]]):
+    """The antichain formulation: per-state sets of code intervals.
+
+    Same graph and boundary condition as :class:`_ReachableTypesProblem`,
+    but the value at a state is an antichain of intervals under
+    containment (:func:`repro.logic.types.interval_contains`) and the
+    transfer function is the sigma-reduced
+    :func:`repro.logic.types.successor_atoms` -- Bell(|guard registers|)
+    work per interval instead of Bell(k) per state.  The downward closure
+    of the fixpoint equals the explicit domain's fixpoint set for set,
+    which is what keeps the two modes' verdicts byte-identical.
+    """
+
+    def __init__(self, automaton: RegisterAutomaton) -> None:
+        self.lattice = SubsumptionLattice(interval_contains)
+        self._automaton = automaton
+        self._k = automaton.k
+
+    def nodes(self) -> Iterable[State]:
+        return self._automaton.states
+
+    def entry(self, node: State) -> FrozenSet[Interval]:
+        if node in self._automaton.initial:
+            return frozenset((TOP_INTERVAL,))
+        return frozenset()
+
+    def out_edges(self, node: State) -> Iterable[Tuple[Transition, State]]:
+        return ((t, t.target) for t in self._automaton.transitions_from(node))
+
+    def transfer(
+        self, transition: Transition, value: FrozenSet[Interval]
+    ) -> FrozenSet[Interval]:
+        guard = transition.guard
+        k = self._k
+        successors = set()
+        for e_mask, d_mask in sorted(value):
+            successors.update(successor_atoms(e_mask, d_mask, guard, k))
+        return self.lattice.prune(successors)
+
+
 class ReachableTypes:
     """The solved analysis: reachable equality types per control state.
 
@@ -138,6 +215,15 @@ class ReachableTypes:
     def types_at(self, state: State) -> FrozenSet[SigmaType]:
         return self.per_state.get(state, frozenset())
 
+    def is_reachable(self, state: State) -> bool:
+        """Whether some valid run prefix can reach *state*.
+
+        Equivalent to ``bool(types_at(state))`` but overridable by the
+        symbolic representation, which answers from the interval frontier
+        without materialising the Bell-sized type sets.
+        """
+        return bool(self.types_at(state))
+
     def feasible(self, transition: Transition) -> bool:
         """Whether *transition* can fire from some reachable configuration."""
         k = self.automaton.k
@@ -159,7 +245,7 @@ class ReachableTypes:
         return tuple(
             state
             for state in sorted(self.automaton.states, key=repr)
-            if not self.types_at(state)
+            if not self.is_reachable(state)
         )
 
     def infeasible_transitions(self) -> Tuple[Transition, ...]:
@@ -233,24 +319,105 @@ class ReachableTypes:
         return tuple(pairs)
 
 
+class SymbolicReachableTypes(ReachableTypes):
+    """:class:`ReachableTypes` backed by interval antichains.
+
+    Query results are byte-identical to the explicit representation --
+    ``types_at`` materialises (and caches) the downward closure of a
+    state's antichain on demand, and the overridden predicates answer the
+    same questions directly on the intervals:
+
+    * reachability / feasibility without decoding any type at all,
+    * ``forced_equalities`` as a bitwise AND over the interval lower
+      bounds (the minimal member of ``(e, d)`` is exactly ``e``, so a pair
+      is forced on every member of every interval iff its bit survives
+      the AND).
+
+    ``witness_path`` is deliberately *not* overridden: it searches the
+    pair graph from scratch either way, so both modes return the same
+    witness, byte for byte.
+    """
+
+    __slots__ = ("per_state_intervals", "_materialised")
+
+    def __init__(
+        self,
+        automaton: RegisterAutomaton,
+        per_state_intervals: Dict[State, FrozenSet[Interval]],
+        iterations: int,
+        edge_evaluations: int,
+    ) -> None:
+        super().__init__(automaton, {}, iterations, edge_evaluations)
+        self.per_state_intervals = per_state_intervals
+        self._materialised: Dict[State, FrozenSet[SigmaType]] = {}
+
+    def intervals_at(self, state: State) -> FrozenSet[Interval]:
+        return self.per_state_intervals.get(state, frozenset())
+
+    def types_at(self, state: State) -> FrozenSet[SigmaType]:
+        found = self._materialised.get(state)
+        if found is None:
+            k = self.automaton.k
+            types = set()
+            for e_mask, d_mask in self.intervals_at(state):
+                for code in enumerate_interval_codes(e_mask, d_mask, k):
+                    types.add(decode_partition_code(code, k))
+            found = self._materialised[state] = frozenset(types)
+            self.per_state[state] = found
+        return found
+
+    def is_reachable(self, state: State) -> bool:
+        # Intervals are built from satisfiable types only, so every stored
+        # interval is non-empty.
+        return bool(self.intervals_at(state))
+
+    def feasible(self, transition: Transition) -> bool:
+        return self.feasible_from(transition.source, transition.guard)
+
+    def feasible_from(self, state: State, guard: SigmaType) -> bool:
+        k = self.automaton.k
+        return any(
+            successor_atoms(e_mask, d_mask, guard, k)
+            for e_mask, d_mask in sorted(self.intervals_at(state))
+        )
+
+    def forced_equalities(self, state: State) -> Tuple[Tuple[int, int], ...]:
+        intervals = self.intervals_at(state)
+        if not intervals:
+            return ()
+        k = self.automaton.k
+        common = all_pairs_mask(k)
+        for e_mask, _d_mask in intervals:
+            common &= e_mask
+        return tuple(
+            pair
+            for bit, pair in enumerate(pair_bits(k))
+            if common >> bit & 1
+        )
+
+
 def reachable_types_outcome(
     automaton: RegisterAutomaton,
     max_edge_evaluations: Optional[int] = DEFAULT_EDGE_BUDGET,
 ) -> "Outcome[ReachableTypes]":
     """The reachable-equality-types analysis as a budgeted outcome.
 
-    ``COMPLETE`` carries the solved :class:`ReachableTypes`; ``DEGRADED``
-    carries no value and a ``reason`` of ``"register-cap"`` (more than
-    :data:`MAX_REGISTERS` registers -- the Bell-sized domain is refused
-    outright) or ``"edge-budget"`` (the fixpoint solver exhausted
+    ``COMPLETE`` carries the solved :class:`ReachableTypes` (a
+    :class:`SymbolicReachableTypes` under the default antichain domain, the
+    explicit powerset under ``REPRO_ANTICHAIN=0``); ``DEGRADED`` carries no
+    value and a ``reason`` of ``"register-cap"`` (more than
+    :data:`MAX_REGISTERS` registers -- :data:`EXPLICIT_MAX_REGISTERS` in
+    the ablated mode) or ``"edge-budget"`` (the fixpoint solver exhausted
     *max_edge_evaluations* transfer applications).  Either way the stats
     include the full budget snapshot, which is what the ``DF005``
     diagnostic and the ``RS004`` resilience event expose to CI.  The
     snapshot is deterministic: the solver stops on exactly the same edge
     evaluation the historical integer cap stopped on.
     """
+    symbolic = antichain_enabled()
+    register_cap = MAX_REGISTERS if symbolic else EXPLICIT_MAX_REGISTERS
     budget = Budget("dataflow")
-    registers = budget.scope("registers", MAX_REGISTERS)
+    registers = budget.scope("registers", register_cap)
     edges = budget.scope("edges", max_edge_evaluations)
 
     def declined(reason: str) -> "Outcome[ReachableTypes]":
@@ -267,6 +434,17 @@ def reachable_types_outcome(
 
     if not registers.charge(automaton.k):
         return declined("register-cap")
+    if symbolic:
+        interval_problem = _ReachableIntervalsProblem(automaton)
+        result = solve_forward(interval_problem, edges)
+        if result is None:
+            return declined("edge-budget")
+        return Outcome.complete(
+            SymbolicReachableTypes(
+                automaton, result.values, result.iterations, result.edge_evaluations
+            ),
+            budget=budget.snapshot(),
+        )
     problem = _ReachableTypesProblem(automaton)
     result = solve_forward(problem, edges)
     if result is None:

@@ -42,6 +42,7 @@ Label = Hashable
 __all__ = [
     "Lattice",
     "PowersetLattice",
+    "SubsumptionLattice",
     "ForwardProblem",
     "FixpointResult",
     "solve_forward",
@@ -84,6 +85,60 @@ class PowersetLattice(Lattice[FrozenSet]):
 
     def leq(self, left: FrozenSet, right: FrozenSet) -> bool:
         return left <= right
+
+
+class SubsumptionLattice(Lattice[FrozenSet]):
+    """Antichain powerset: sets pruned to their subsumption-maximal elements.
+
+    Parameterised by ``subsumes(big, small)`` -- a *partial order* on
+    elements (reflexive, transitive, antisymmetric); ``small`` is redundant
+    in a set that also contains a distinct ``big`` subsuming it.  Values
+    are frozensets kept in antichain form by :meth:`prune`:
+
+    * ``bottom`` is the empty set,
+    * ``join`` is union followed by pruning,
+    * ``leq(a, b)`` holds when every element of ``a`` is subsumed by some
+      element of ``b`` -- inclusion of the downward closures, which is the
+      order the fixpoint actually computes in.
+
+    Elements must be totally orderable (``sorted``) so pruning -- and with
+    it every solver value -- is a pure function of the set, independent of
+    hash iteration order (the framework's determinism discipline).
+
+    The dataflow height argument still applies: downward closures of the
+    per-node values grow strictly on every update and live in a finite
+    powerset, so the worklist terminates; the least fixpoint's closures
+    equal those of the explicit powerset run, which is why the antichain
+    equality domain reproduces the explicit domain's verdicts exactly.
+    """
+
+    def __init__(self, subsumes: Callable[[object, object], bool]) -> None:
+        self._subsumes = subsumes
+
+    def bottom(self) -> FrozenSet:
+        return frozenset()
+
+    def prune(self, elements: Iterable) -> FrozenSet:
+        """The subsumption-maximal elements of *elements*."""
+        subsumes = self._subsumes
+        items = sorted(set(elements))
+        kept = []
+        for item in items:
+            if any(other != item and subsumes(other, item) for other in items):
+                continue
+            kept.append(item)
+        return frozenset(kept)
+
+    def join(self, left: FrozenSet, right: FrozenSet) -> FrozenSet:
+        if left == right:
+            return left
+        return self.prune(left | right)
+
+    def leq(self, left: FrozenSet, right: FrozenSet) -> bool:
+        subsumes = self._subsumes
+        return all(
+            any(subsumes(big, small) for big in right) for small in left
+        )
 
 
 class ForwardProblem(Generic[V]):

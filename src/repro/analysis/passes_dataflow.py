@@ -108,7 +108,7 @@ def dataflow_feasibility_pass(automaton: RegisterAutomaton) -> Iterator[Diagnost
             "state %r" % (state,),
         )
     for transition in types.infeasible_transitions():
-        if not types.types_at(transition.source):
+        if not types.is_reachable(transition.source):
             continue  # source unreachable: DF002/RA110 is the root cause
         proof = _infeasibility_proof(types, transition)
         witness = _witness_payload(types, transition.source, witness_budget)
@@ -140,7 +140,7 @@ def dataflow_constancy_pass(automaton: RegisterAutomaton) -> Iterator[Diagnostic
         return
     witness_budget = [WITNESS_CAP]
     for state in sorted(automaton.states, key=repr):
-        if not types.types_at(state):
+        if not types.is_reachable(state):
             continue
         pairs = types.forced_equalities(state)
         if not pairs:

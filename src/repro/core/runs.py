@@ -28,6 +28,7 @@ from repro.db.database import Database
 from repro.db.evaluation import evaluate_type, transition_valuation
 from repro.foundations.domain import DataValue, FreshSupply
 from repro.foundations.errors import SpecificationError
+from repro.foundations.interning import register_mode_listener
 from repro.core.caching import ValueCache
 from repro.core.register_automaton import RegisterAutomaton, State, Transition
 
@@ -352,7 +353,11 @@ def initial_tuples(
                     yield state, first, transition
 
 
+# Cached interned ``Var`` values: cleared on interning-mode flips, like
+# the register_vars memos it is built from.
 _X_TO_Y: Dict[int, Dict] = {}
+
+register_mode_listener(_X_TO_Y.clear)
 
 
 def _x_to_y_mapping(k: int) -> Dict:

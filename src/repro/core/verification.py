@@ -49,6 +49,7 @@ from repro.core.emptiness import (
     trace_is_consistent,
 )
 from repro.core.extended import ExtendedAutomaton
+from repro.core.pruning import build_narrowing, prune_extended
 from repro.core.register_automaton import RegisterAutomaton, Transition
 from repro.core.runs import LassoRun
 from repro.core.symbolic import scontrol_buchi
@@ -155,6 +156,10 @@ def verify(
     """
     augmented, mapping = add_global_registers(extended, sentence.global_vars)
     grounded = _rewrite_sentence(sentence, mapping)
+    # Sound under REPRO_PRUNE (default on): pruning preserves the valid-run
+    # set exactly, hence the set of genuine counterexamples; REPRO_PRUNE=0
+    # reproduces the unpruned product byte for byte.
+    augmented = prune_extended(augmented)
     normalised = _normalize_for_analysis(augmented)
     automaton = normalised.automaton
 
@@ -195,7 +200,13 @@ def verify(
 
     checked = 0
     seen: Set[Lasso] = set()
-    for lasso in product.iter_accepted_lassos(max_cycle, max_prefix):
+    # The same subsumption-backed frontier the emptiness check threads
+    # through its enumeration: product letters are (state, guard) symbols
+    # of the normalised control, exactly what the filter expects.  It only
+    # skips candidates trace_is_consistent would reject, so the verdict
+    # and the winning counterexample are unchanged.
+    narrow = build_narrowing(normalised)
+    for lasso in product.iter_accepted_lassos(max_cycle, max_prefix, narrow=narrow):
         if lasso in seen:
             continue
         seen.add(lasso)

@@ -10,6 +10,7 @@ from typing import Dict, Mapping
 
 from repro.foundations.domain import DataValue
 from repro.foundations.errors import EvaluationError
+from repro.foundations.interning import register_mode_listener
 from repro.db.database import Database
 from repro.logic.formulas import And, AtomFormula, FalseFormula, Formula, Not, Or, TrueFormula
 from repro.logic.literals import EqAtom, Literal, RelAtom
@@ -136,9 +137,14 @@ def evaluate_formula(formula: Formula, database: Database, valuation: Valuation)
 # Register-variable tuples by arity.  ``transition_valuation`` runs once
 # per streamed/searched position; building ``Var("x%d" % i)`` there cost a
 # string format plus an intern probe per register.  The tuples are tiny and
-# the set of arities tinier, so a plain dict memo is the right shape.
+# the set of arities tinier, so a plain dict memo is the right shape.  The
+# cached ``Var`` instances are interned values, so a mode flip clears the
+# memos (identity-is-equality would otherwise break across the flip).
 _X_VARS: Dict[int, tuple] = {}
 _Y_VARS: Dict[int, tuple] = {}
+
+register_mode_listener(_X_VARS.clear)
+register_mode_listener(_Y_VARS.clear)
 
 
 def register_vars(kind: str, count: int) -> tuple:

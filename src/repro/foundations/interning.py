@@ -47,6 +47,7 @@ __all__ = [
     "set_interning",
     "interning",
     "register_intern_table",
+    "register_mode_listener",
     "intern_table_sizes",
     "clear_intern_tables",
 ]
@@ -79,10 +80,15 @@ def set_interning(enabled: bool) -> bool:
     """Turn interning on/off; returns the previous setting.
 
     Safe at any time: values created while disabled simply bypass the
-    tables and compare structurally.
+    tables and compare structurally.  On an actual mode *change* the
+    registered mode listeners fire (see :func:`register_mode_listener`):
+    caches of interned values built under the other mode must be dropped
+    so identity-is-equality stays true for everything they hand out.
     """
     previous = interning_enabled()
     _ENABLED[0] = bool(enabled)
+    if bool(enabled) != previous:
+        _fire_mode_listeners()
     return previous
 
 
@@ -135,12 +141,33 @@ class Interned(type):
 
 #: Hand-managed tables (classes whose keys need construction-time work,
 #: e.g. ``SigmaType``) registered so diagnostics and tests see them too.
-_EXTRA_TABLES: Dict[str, "weakref.WeakValueDictionary"] = {}
+_EXTRA_TABLES: Dict[str, "weakref.WeakValueDictionary"] = {}  # mode-ok: weak tables of canonical values, cleared below
+
+#: Callbacks to run whenever the interning mode flips (or the tables are
+#: force-cleared).  Modules holding caches of *interned values* register a
+#: clearing callback here -- a cache entry built under one mode must never
+#: be served under the other, or identity-is-equality breaks.
+_MODE_LISTENERS: List = []
 
 
 def register_intern_table(name: str, table: "weakref.WeakValueDictionary") -> None:
     """Expose a hand-managed weak intern table to the diagnostics below."""
     _EXTRA_TABLES[name] = table
+
+
+def register_mode_listener(listener) -> None:
+    """Run *listener()* on every interning-mode change.
+
+    Listeners also fire from :func:`clear_intern_tables`, which tests and
+    ablation harnesses use as the "reset all canonical values" hammer.
+    Listeners must be idempotent and must not raise.
+    """
+    _MODE_LISTENERS.append(listener)
+
+
+def _fire_mode_listeners() -> None:
+    for listener in _MODE_LISTENERS:
+        listener()
 
 
 def intern_table_sizes() -> Dict[str, int]:
@@ -152,8 +179,13 @@ def intern_table_sizes() -> Dict[str, int]:
 
 
 def clear_intern_tables() -> None:
-    """Drop every table entry (tests only; live values stay valid)."""
+    """Drop every table entry (tests only; live values stay valid).
+
+    Mode listeners fire too: caches holding previously-canonical values
+    would otherwise keep handing them out after the reset.
+    """
     for cls in _INTERNED_CLASSES:
         cls.__intern_table__.clear()
     for table in _EXTRA_TABLES.values():
         table.clear()
+    _fire_mode_listeners()

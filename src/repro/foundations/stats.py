@@ -85,7 +85,7 @@ class CacheStats:
         )
 
 
-_REGISTRY: Dict[str, CacheStats] = {}
+_REGISTRY: Dict[str, CacheStats] = {}  # mode-ok: plain counters, no interned values
 
 
 def cache_stats(name: str) -> CacheStats:

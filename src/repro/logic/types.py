@@ -28,7 +28,12 @@ from itertools import product as cartesian_product
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.foundations.errors import InconsistentTypeError
-from repro.foundations.interning import interning_enabled, register_intern_table
+from repro.foundations.interning import (
+    interning_enabled,
+    register_intern_table,
+    register_mode_listener,
+)
+from repro.foundations.memo import ValueCache
 from repro.foundations.resilience import current_deadline
 from repro.foundations.stats import cache_stats
 from repro.logic.closure import EqualityClosure
@@ -454,10 +459,258 @@ def advance_registers(
     return frozenset(result)
 
 
+# ---------------------------------------------------------------------- #
+# partition codes: complete equality x-types as integers
+# ---------------------------------------------------------------------- #
+#
+# A complete equality type over x1..xk is a set partition of the registers
+# (blocks = equality classes, distinct blocks implicitly unequal).  We
+# encode each partition as a *pair bitmask*: one bit per register pair
+# (i, j), i < j, set exactly when the partition puts i and j in one block.
+# Pairs are numbered in the completion-obligation order -- (1,2), (1,3),
+# ..., (1,k), (2,3), ... -- so the code-driven enumerations below replay
+# :meth:`SigmaType.completions` bit for bit.
+#
+# On top of single codes sits the *interval* (atom) representation the
+# antichain dataflow domain works with: a pair ``(e, d)`` of masks denotes
+# the set of partitions ``{m : e <= m and m & d == 0}`` (all pairs in
+# ``e`` forced equal, all pairs in ``d`` forced apart).  A single code
+# ``c`` embeds as the degenerate interval ``(c, ALL & ~c)``.  Interval
+# containment -- hence subsumption in the antichain -- is two integer
+# mask comparisons; see :func:`interval_contains`.
+
+
+def pair_bits(k: int) -> Tuple[Tuple[int, int], ...]:
+    """The register pairs ``(i, j)``, ``i < j``, in bit-index order."""
+    found = _PAIR_BITS.get(k)
+    if found is None:
+        found = _PAIR_BITS[k] = tuple(
+            (i, j) for i in range(1, k + 1) for j in range(i + 1, k + 1)
+        )
+    return found
+
+
+_PAIR_BITS: Dict[int, Tuple[Tuple[int, int], ...]] = {}  # mode-ok: pure integer tables
+_PAIR_INDEX: Dict[int, Dict[Tuple[int, int], int]] = {}  # mode-ok: pure integer tables
+
+
+def pair_bit(i: int, j: int, k: int) -> int:
+    """The bit index of pair ``(i, j)`` (order-insensitive) at width *k*."""
+    table = _PAIR_INDEX.get(k)
+    if table is None:
+        table = _PAIR_INDEX[k] = {
+            pair: bit for bit, pair in enumerate(pair_bits(k))
+        }
+    return table[(i, j) if i < j else (j, i)]
+
+
+def all_pairs_mask(k: int) -> int:
+    """The mask with every pair bit set (the one-block partition)."""
+    return (1 << (k * (k - 1) // 2)) - 1
+
+
+def closure_mask(mask: int, k: int) -> int:
+    """The transitive closure of *mask* as an equality relation on 1..k."""
+    labels = list(range(k + 1))
+
+    def find(register: int) -> int:
+        while labels[register] != register:
+            labels[register] = labels[labels[register]]
+            register = labels[register]
+        return register
+
+    for bit, (i, j) in enumerate(pair_bits(k)):
+        if mask >> bit & 1:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                labels[max(ri, rj)] = min(ri, rj)
+    closed = 0
+    for bit, (i, j) in enumerate(pair_bits(k)):
+        if find(i) == find(j):
+            closed |= 1 << bit
+    return closed
+
+
+def partition_code(phi: "SigmaType", k: int) -> int:
+    """Encode complete equality x-type *phi* as its partition code."""
+    classes = x_equality_classes(phi, k)
+    code = 0
+    for bit, (i, j) in enumerate(pair_bits(k)):
+        if j in classes[i]:
+            code |= 1 << bit
+    return code
+
+
+def interval_contains(outer: Tuple[int, int], inner: Tuple[int, int]) -> bool:
+    """Whether interval *outer* ``(e, d)`` contains interval *inner*.
+
+    Containment holds exactly when the outer constraints are weaker:
+    ``e_outer <= e_inner`` and ``d_outer <= d_inner`` (as bit sets).  Both
+    intervals must be normalised (``e`` transitively closed, ``e & d ==
+    0``); all intervals produced by this module are.
+    """
+    e_outer, d_outer = outer
+    e_inner, d_inner = inner
+    return (e_outer & ~e_inner) == 0 and (d_outer & ~d_inner) == 0
+
+
+def decode_partition_code(code: int, k: int) -> "SigmaType":
+    """The canonical :class:`SigmaType` for partition code *code*.
+
+    Replays the completion search deterministically: walk the pairs in
+    obligation order, skip pairs already settled by the literals chosen so
+    far (same block, or an asserted disequality between the two blocks),
+    and otherwise assert the (dis)equality the code dictates.  The literal
+    set is therefore exactly what ``SigmaType().completions`` would have
+    accumulated on the branch leading to this partition -- the canonical
+    minimal form.
+    """
+    return _DECODE_CACHE.lookup((code, k), lambda: _decode(code, k))
+
+
+def _decode(code: int, k: int) -> "SigmaType":
+    labels = list(range(k + 1))
+
+    def find(register: int) -> int:
+        while labels[register] != register:
+            labels[register] = labels[labels[register]]
+            register = labels[register]
+        return register
+
+    neq_edges: Set[Tuple[int, int]] = set()
+    literals: List[Literal] = []
+    for bit, (i, j) in enumerate(pair_bits(k)):
+        ri, rj = find(i), find(j)
+        if ri == rj:
+            continue
+        edge = (min(ri, rj), max(ri, rj))
+        if code >> bit & 1:
+            literals.append(Literal(EqAtom(X(i), X(j)), True))
+            root = min(ri, rj)
+            other = max(ri, rj)
+            labels[other] = root
+            # Re-anchor disequality edges that referenced the merged root.
+            if neq_edges:
+                neq_edges = {
+                    tuple(sorted((root if a == other else a, root if b == other else b)))
+                    for a, b in neq_edges
+                }
+        elif edge not in neq_edges:
+            literals.append(Literal(EqAtom(X(i), X(j)), False))
+            neq_edges.add(edge)
+    return SigmaType(literals, check=False)
+
+
+def enumerate_interval_codes(e_mask: int, d_mask: int, k: int) -> Tuple[int, ...]:
+    """All partition codes in the interval ``(e_mask, d_mask)``.
+
+    The enumeration order replays the eq-first backtracking of
+    :meth:`SigmaType.completions`, so ``enumerate_interval_codes(0, 0, k)``
+    lists the Bell(k) partitions in exactly the order
+    ``SigmaType().completions({}, [X(1)..X(k)])`` produces them.
+    """
+    return _INTERVAL_CACHE.lookup(
+        (e_mask, d_mask, k), lambda: tuple(_enumerate_interval(e_mask, d_mask, k))
+    )
+
+
+def _enumerate_interval(e_mask: int, d_mask: int, k: int) -> Iterator[int]:
+    pairs = pair_bits(k)
+
+    def entailed_neq(labels, neq_edges, ri: int, rj: int) -> bool:
+        for a, b in neq_edges:
+            roots = (labels[a], labels[b])
+            if roots == (ri, rj) or roots == (rj, ri):
+                return True
+        return False
+
+    def extend(bit: int, labels, neq_edges) -> Iterator[int]:
+        active = current_deadline()
+        if active is not None:
+            active.check("types.interval_enumeration")
+        while bit < len(pairs):
+            i, j = pairs[bit]
+            ri, rj = labels[i], labels[j]
+            if ri == rj or entailed_neq(labels, neq_edges, ri, rj):
+                bit += 1
+                continue
+            forced_eq = bool(e_mask >> bit & 1)
+            forced_neq = bool(d_mask >> bit & 1)
+            if forced_eq or not forced_neq:
+                root, other = min(ri, rj), max(ri, rj)
+                merged = tuple(
+                    root if label == other else label for label in labels
+                )
+                yield from extend(bit + 1, merged, neq_edges)
+            if not forced_eq:
+                yield from extend(bit + 1, labels, neq_edges + ((i, j),))
+            return
+        code = 0
+        for index, (i, j) in enumerate(pairs):
+            if labels[i] == labels[j]:
+                code |= 1 << index
+        yield code
+
+    # Pre-seed with the interval constraints: union every e-pair, record a
+    # disequality edge for every d-pair.  An inconsistent interval (some
+    # d-pair forced equal by the closure of e) yields nothing.  Labels are
+    # kept fully flattened (register -> class representative) so the DFS
+    # compares in O(1).
+    labels = list(range(k + 1))
+
+    def find(register: int) -> int:
+        while labels[register] != register:
+            labels[register] = labels[labels[register]]
+            register = labels[register]
+        return register
+
+    for bit, (i, j) in enumerate(pairs):
+        if e_mask >> bit & 1:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                labels[max(ri, rj)] = min(ri, rj)
+    seeded = tuple(
+        find(register) if register else 0 for register in range(k + 1)
+    )
+    neq_edges: Tuple[Tuple[int, int], ...] = ()
+    for bit, (i, j) in enumerate(pairs):
+        if d_mask >> bit & 1:
+            if seeded[i] == seeded[j]:
+                return
+            neq_edges += ((i, j),)
+    yield from extend(0, seeded, neq_edges)
+
+
+def interval_size(e_mask: int, d_mask: int, k: int) -> int:
+    """How many partitions the interval contains (diagnostics/benchmarks)."""
+    return len(enumerate_interval_codes(e_mask, d_mask, k))
+
+
 #: Complete equality x-types per register count (the Bell(k) partitions of
-#: {x1..xk}).  Module-level so the tuples stay stable -- and shared -- even
-#: when interning is disabled.
+#: {x1..xk}).  Module-level so the tuples stay stable -- and shared --
+#: within one interning mode; a mode flip clears the table (the listener
+#: below), because handing out types built under the other mode would break
+#: the identity-is-equality invariant interned code relies on.
 _COMPLETE_X_TYPES: Dict[int, Tuple["SigmaType", ...]] = {}
+
+#: Canonical decode of partition codes (SigmaType values: mode-dependent).
+_DECODE_CACHE = ValueCache("logic.decode_partition")
+
+#: Interval membership lists (pure integers: mode-independent, but cheap to
+#: rebuild, so the blanket clear below does no harm).
+_INTERVAL_CACHE = ValueCache("logic.interval_codes")
+
+#: Bounded transfer-function memos (replaces the per-guard ``__dict__``
+#: memo that grew without bound under interning; ``CacheStats`` now sees
+#: hit rates and evictions).
+_ABSTRACT_SUCCESSORS = ValueCache("logic.abstract_successors", maxsize=65536)
+_SUCCESSOR_ATOMS = ValueCache("logic.successor_atoms", maxsize=65536)
+
+
+register_mode_listener(_COMPLETE_X_TYPES.clear)
+register_mode_listener(_DECODE_CACHE.clear)
+register_mode_listener(_ABSTRACT_SUCCESSORS.clear)
+register_mode_listener(_SUCCESSOR_ATOMS.clear)
 
 
 def complete_equality_x_types(k: int) -> Tuple["SigmaType", ...]:
@@ -470,14 +723,138 @@ def complete_equality_x_types(k: int) -> Tuple["SigmaType", ...]:
     (:mod:`repro.analysis.dataflow`): an over-approximation of the
     register configurations reachable at a control state is a *set* of
     these types.
+
+    Enumerated through the partition-code tables, which replay the old
+    ``SigmaType().completions`` search exactly -- same types, same order,
+    same (canonical) literal sets.
     """
     found = _COMPLETE_X_TYPES.get(k)
     if found is None:
-        variables = [X(i) for i in range(1, k + 1)]
         found = _COMPLETE_X_TYPES[k] = tuple(
-            SigmaType().completions({}, variables)
+            decode_partition_code(code, k)
+            for code in enumerate_interval_codes(0, 0, k)
         )
     return found
+
+
+def guard_x_registers(delta: "SigmaType", k: int) -> Tuple[int, ...]:
+    """The registers whose current value the guard actually mentions.
+
+    The sigma-reduction underlying :func:`successor_atoms`: the transfer
+    function of a guard depends only on the restriction of the source
+    partition to these registers, because non-mentioned registers can
+    interact with the guard's terms only through them.
+    """
+    cache = delta.__dict__.get("_guard_x_registers")
+    if cache is None:
+        cache = delta.__dict__["_guard_x_registers"] = {}
+    found = cache.get(k)
+    if found is None:
+        mentioned = set()
+        for variable in delta.variables:
+            decomposed = register_index(variable)
+            if decomposed is not None and decomposed[0] == "x" and decomposed[1] <= k:
+                mentioned.add(decomposed[1])
+        found = cache[k] = tuple(sorted(mentioned))
+    return found
+
+
+def successor_atoms(
+    e_mask: int, d_mask: int, delta: "SigmaType", k: int
+) -> Tuple[Tuple[int, int], ...]:
+    """One-step successor intervals of interval ``(e_mask, d_mask)``.
+
+    The symbolic transfer function: instead of pushing every partition of
+    the interval through the guard (Bell(k) conjoin/probe rounds), observe
+    that the successor facts depend only on the source partition's
+    restriction ``sigma`` to :func:`guard_x_registers`.  Enumerate the
+    Bell(|R|) candidate restrictions, keep those some interval member
+    realises, and for each consistent ``delta & sigma`` read off the
+    entailed (dis)equalities among the ``y``-registers -- which is itself
+    an interval over the next position.  Exact: the union of the returned
+    intervals equals the set of :func:`abstract_successor_types` results
+    over all interval members.
+    """
+    return _SUCCESSOR_ATOMS.lookup(
+        (e_mask, d_mask, delta, k),
+        lambda: _successor_atoms(e_mask, d_mask, delta, k),
+    )
+
+
+def _successor_atoms(
+    e_mask: int, d_mask: int, delta: "SigmaType", k: int
+) -> Tuple[Tuple[int, int], ...]:
+    registers = guard_x_registers(delta, k)
+    r_pair_bits = [
+        (bit, pair)
+        for bit, pair in enumerate(pair_bits(k))
+        if pair[0] in registers and pair[1] in registers
+    ]
+    r_mask = 0
+    for bit, _pair in r_pair_bits:
+        r_mask |= 1 << bit
+    results: List[Tuple[int, int]] = []
+    seen: Set[Tuple[int, int]] = set()
+    for sigma in _partitions_of(registers):
+        sigma_mask = 0
+        for bit, (i, j) in r_pair_bits:
+            if sigma[i] == sigma[j]:
+                sigma_mask |= 1 << bit
+        closed = closure_mask(e_mask | sigma_mask, k)
+        if closed & d_mask:
+            continue
+        if closed & r_mask != sigma_mask:
+            # The interval's equalities coarsen sigma: no member restricts
+            # to exactly this partition of the guard registers.
+            continue
+        literals = [
+            Literal(EqAtom(X(i), X(j)), sigma[i] == sigma[j])
+            for _bit, (i, j) in r_pair_bits
+        ]
+        try:
+            joint = delta.with_literals(literals)
+        except InconsistentTypeError:
+            continue
+        atom = _y_interval(joint, k)
+        if atom not in seen:
+            seen.add(atom)
+            results.append(atom)
+    return tuple(results)
+
+
+def _partitions_of(registers: Sequence[int]) -> Iterator[Dict[int, int]]:
+    """All set partitions of *registers* as register -> block-id maps."""
+    if not registers:
+        yield {}
+        return
+    assignment: Dict[int, int] = {}
+
+    def place(index: int, blocks: int) -> Iterator[Dict[int, int]]:
+        if index == len(registers):
+            yield dict(assignment)
+            return
+        register = registers[index]
+        for block in range(blocks):
+            assignment[register] = block
+            yield from place(index + 1, blocks)
+        assignment[register] = blocks
+        yield from place(index + 1, blocks + 1)
+        del assignment[register]
+
+    yield from place(0, 0)
+
+
+def _y_interval(joint: "SigmaType", k: int) -> Tuple[int, int]:
+    """The interval of next-position partitions *joint* allows."""
+    eq_mask = 0
+    neq_mask = 0
+    for bit, (i, j) in enumerate(pair_bits(k)):
+        positive = Literal(EqAtom(Y(i), Y(j)), True)
+        if joint.entails(positive):
+            eq_mask |= 1 << bit
+        elif joint.entails(positive.negate()):
+            neq_mask |= 1 << bit
+    return (eq_mask, neq_mask)
 
 
 def abstract_successor_types(
@@ -487,25 +864,23 @@ def abstract_successor_types(
 
     The transfer function of the reachable-configurations analysis:
     conjoin the guard with the source type, read off every entailed
-    (dis)equality between the next-position registers ``y_i``, shift those
-    facts to ``x``-variables and enumerate their complete equality
-    extensions.  Sound over-approximation: if registers ``d`` satisfy
-    *phi* and ``(d, d')`` satisfies *delta*, the complete equality type of
-    ``d'`` is among the results.  Returns ``()`` exactly when
-    ``phi & delta`` is unsatisfiable -- the transition cannot fire from
-    any configuration of type *phi*.
+    (dis)equality between the next-position registers ``y_i`` as an
+    interval of partition codes, and decode the interval's members to
+    canonical complete types.  Sound over-approximation: if registers
+    ``d`` satisfy *phi* and ``(d, d')`` satisfies *delta*, the complete
+    equality type of ``d'`` is among the results.  Returns ``()`` exactly
+    when ``phi & delta`` is unsatisfiable -- the transition cannot fire
+    from any configuration of type *phi*.
 
-    Memoised on the guard instance per ``(phi, k)`` (shared across
-    structurally equal guards under interning, like
-    :func:`x_equality_classes`).
+    Memoised in a bounded :class:`~repro.foundations.memo.ValueCache`
+    keyed ``(phi, delta, k)`` -- shared across structurally equal guards
+    under interning, observable through ``CacheStats``, and incapable of
+    growing without bound in long-lived processes (the old per-guard
+    ``__dict__`` memo was not).
     """
-    cache = delta.__dict__.get("_abstract_successors")
-    if cache is None:
-        cache = delta.__dict__["_abstract_successors"] = {}
-    found = cache.get((phi, k))
-    if found is None:
-        found = cache[(phi, k)] = _abstract_successors(phi, delta, k)
-    return found
+    return _ABSTRACT_SUCCESSORS.lookup(
+        (phi, delta, k), lambda: _abstract_successors(phi, delta, k)
+    )
 
 
 def _abstract_successors(
@@ -515,18 +890,11 @@ def _abstract_successors(
         joint = delta.conjoin(phi)
     except InconsistentTypeError:
         return ()
-    facts: List[Literal] = []
-    for i in range(1, k + 1):
-        for j in range(i + 1, k + 1):
-            positive = Literal(EqAtom(Y(i), Y(j)), True)
-            if joint.entails(positive):
-                facts.append(Literal(EqAtom(X(i), X(j)), True))
-            elif joint.entails(positive.negate()):
-                facts.append(Literal(EqAtom(X(i), X(j)), False))
-    # The facts are entailed by a satisfiable type, hence consistent.
-    base = SigmaType(facts, check=False)
-    variables = [X(i) for i in range(1, k + 1)]
-    return tuple(base.completions({}, variables))
+    eq_mask, neq_mask = _y_interval(joint, k)
+    return tuple(
+        decode_partition_code(code, k)
+        for code in enumerate_interval_codes(eq_mask, neq_mask, k)
+    )
 
 
 def equality_type(*literals: Literal) -> SigmaType:

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.db.schema import Signature
-from repro.foundations.errors import SpecificationError
+from repro.foundations.errors import InconsistentTypeError, SpecificationError
 from repro.logic.literals import Literal, eq, neq, nrel, rel
 from repro.logic.terms import Term, X, Y
 from repro.logic.types import SigmaType
@@ -246,7 +246,10 @@ class WorkflowSpec:
             if extra:
                 try:
                     guard = guard.with_literals(extra)
-                except Exception as error:
+                except (InconsistentTypeError, SpecificationError) as error:
+                    # Only the expected spec-level failures are converted to
+                    # a diagnostic; programming errors (AttributeError from
+                    # a typo'd field, etc.) propagate as the bugs they are.
                     raise SpecificationError(
                         "rule %s -> %s contradicts distinct_attributes: %s"
                         % (rule.source, rule.target, error)

@@ -19,6 +19,7 @@ from repro.analysis import (
     registered_passes,
 )
 from repro.analysis.cli import analyze_target, capture_instances, main as cli_main
+from repro.analysis.dataflow import MAX_REGISTERS
 from repro.foundations.diagnostics import Diagnostic, Report, error, info, warning
 from repro.foundations.errors import SpecificationError
 from repro.generators import random_register_automaton
@@ -780,6 +781,61 @@ class TestTime001:
         assert self._codes(source) == []
 
 
+class TestMc001:
+    """MC001: module-level dict caches that ignore the interning mode."""
+
+    def _codes(self, source, path="src/repro/logic/example.py"):
+        return [f.code for f in lint_repro.iter_findings(source, path)]
+
+    MUTATING_CACHE = textwrap.dedent(
+        """
+        _CACHE = {}
+
+        def lookup(key):
+            if key not in _CACHE:
+                _CACHE[key] = compute(key)
+            return _CACHE[key]
+        """
+    )
+
+    def test_unregistered_cache_flagged(self):
+        findings = list(
+            lint_repro.iter_findings(self.MUTATING_CACHE, "src/repro/logic/x.py")
+        )
+        assert [f.code for f in findings] == ["MC001"]
+        assert "_CACHE" in findings[0].message
+
+    def test_setdefault_counts_as_mutation(self):
+        source = "_MEMO = {}\n\ndef f(k):\n    return _MEMO.setdefault(k, [])\n"
+        assert self._codes(source) == ["MC001"]
+
+    def test_mode_listener_registration_exempts(self):
+        source = self.MUTATING_CACHE + (
+            "\nregister_mode_listener(_CACHE.clear)\n"
+        )
+        assert self._codes(source) == []
+
+    def test_mode_ok_marker_exempts(self):
+        source = self.MUTATING_CACHE.replace(
+            "_CACHE = {}", "_CACHE = {}  # mode-ok: pure integer tables"
+        )
+        assert self._codes(source) == []
+
+    def test_read_only_table_not_flagged(self):
+        source = '_NAMES = {1: "one"}\n\ndef f(k):\n    return _NAMES[k]\n'
+        assert self._codes(source) == []
+
+    def test_module_level_population_not_flagged(self):
+        # Filled at import time, read-only afterwards: no mode hazard the
+        # rule can see (values predate any flip a test could perform).
+        source = "_T = {}\nfor i in range(3):\n    _T[i] = i\n"
+        assert self._codes(source) == []
+
+    def test_outside_repro_tree_ignored(self):
+        assert self._codes(self.MUTATING_CACHE, path="tests/test_x.py") == []
+        assert self._codes(self.MUTATING_CACHE, path="tools/helper.py") == []
+
+
 # --------------------------------------------------------------------- #
 # dataflow passes (DF0xx)
 # --------------------------------------------------------------------- #
@@ -834,9 +890,11 @@ class TestDataflowPasses:
         assert not [d for d in report.diagnostics if d.code in ("DF001", "DF002")]
 
     def test_over_budget_automaton_reports_df005(self):
-        # k = 7 exceeds MAX_REGISTERS: the analysis declines, honestly.
-        literals = [eq(X(i), Y(i)) for i in range(1, 8)]
-        automaton = ra(7, {"a"}, {"a"}, {"a"}, [("a", SigmaType(literals), "a")])
+        # k = 13 exceeds MAX_REGISTERS even for the antichain domain:
+        # the analysis declines, honestly.
+        k = MAX_REGISTERS + 1
+        literals = [eq(X(i), Y(i)) for i in range(1, k + 1)]
+        automaton = ra(k, {"a"}, {"a"}, {"a"}, [("a", SigmaType(literals), "a")])
         report = analyze(automaton, only=["dataflow-feasibility"])
         assert "DF005" in report.codes()
         assert not [d for d in report.diagnostics if d.code in ("DF001", "DF002")]

@@ -53,6 +53,7 @@ from repro import (
 from repro.analysis.cli import main as cli_main
 from repro.analysis.dataflow import (
     DEFAULT_EDGE_BUDGET,
+    MAX_REGISTERS,
     analyze_reachable_types,
     reachable_types_outcome,
 )
@@ -713,13 +714,13 @@ def _tiny_automaton(k=2):
 
 class TestDataflowBudget:
     def test_register_cap_degrades_with_snapshot(self):
-        wide = _tiny_automaton(k=7)
+        wide = _tiny_automaton(k=MAX_REGISTERS + 1)
         outcome = reachable_types_outcome(wide)
         assert outcome.status is OutcomeStatus.DEGRADED
         assert outcome.value is None
         assert outcome.stats["reason"] == "register-cap"
         children = {c["name"]: c for c in outcome.stats["budget"]["children"]}
-        assert children["registers"]["spent"] == 7
+        assert children["registers"]["spent"] == MAX_REGISTERS + 1
         assert children["registers"]["exhausted"]
         assert analyze_reachable_types(wide) is None  # wrapper contract intact
         events = recent_events("RS004")
@@ -744,7 +745,7 @@ class TestDataflowBudget:
     def test_df005_diagnostic_carries_budget_data(self):
         from repro.analysis.passes_dataflow import dataflow_feasibility_pass
 
-        findings = list(dataflow_feasibility_pass.run(_tiny_automaton(k=7)))
+        findings = list(dataflow_feasibility_pass.run(_tiny_automaton(k=MAX_REGISTERS + 1)))
         assert [f.code for f in findings] == ["DF005"]
         assert findings[0].data["reason"] == "register-cap"
         assert findings[0].data["budget"]["children"]

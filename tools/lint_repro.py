@@ -32,6 +32,18 @@ in ``id`` -- and extends the ruleset:
   ``repro.foundations.resilience.Deadline``) or ``time.perf_counter()``
   (benchmark timing).  Wall-clock *timestamps* for display belong in
   ``datetime`` APIs, which the rule leaves alone.
+* ``MC001`` -- module-level dict cache that ignores the interning mode.
+  A ``_CACHE = {}`` at module scope that functions later populate will
+  happily retain values across a ``REPRO_INTERN`` flip; if those values
+  are interned (types, literals, terms), identity-is-equality silently
+  breaks for everything cached before the flip (the historical
+  ``_COMPLETE_X_TYPES`` bug).  Register a clearer via
+  ``register_mode_listener(...)`` (mentioning the cache name in the
+  call), or -- when the cache holds only mode-independent data such as
+  plain integers or counters -- annotate the assignment with a
+  ``# mode-ok: <why>`` comment.  Only applies to files under a
+  ``repro`` package directory; tests, tools and benchmarks manage their
+  own cache lifetimes.
 
 Usage::
 
@@ -88,6 +100,11 @@ def _in_hot_tree(path: str) -> bool:
     return any(
         parts[i : i + 2] == ("repro", "core") for i in range(len(parts) - 1)
     )
+
+
+def _in_repro_tree(path: str) -> bool:
+    """Whether *path* lies under a ``repro`` package directory."""
+    return "repro" in Path(path).parts[:-1]
 
 
 class _Linter(ast.NodeVisitor):
@@ -290,6 +307,126 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+# MC001 --------------------------------------------------------------- #
+
+_MC001_MESSAGE = (
+    "module-level dict cache %r is mutated inside functions but ignores "
+    "the interning mode: interned values cached across a REPRO_INTERN "
+    "flip break identity-is-equality; clear it via "
+    "register_mode_listener(...) or mark the assignment "
+    "'# mode-ok: <why>' if it holds no interned values"
+)
+
+
+def _is_dict_expr(node: ast.expr) -> bool:
+    """A ``{}`` / ``{...: ...}`` literal or a bare ``dict(...)`` call."""
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "dict"
+    )
+
+
+class _CacheScan(ast.NodeVisitor):
+    """Second pass for MC001: which candidate names are grown inside
+    functions, and which appear inside a ``register_*`` call (i.e. have a
+    registered lifecycle hook such as a mode listener)."""
+
+    def __init__(self, names):
+        self.names = names
+        self.mutated: set = set()
+        self.registered: set = set()
+        self._depth = 0
+
+    def _function(self, node) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_FunctionDef = _function
+    visit_AsyncFunctionDef = _function
+    visit_Lambda = _function
+
+    def _note_subscript_store(self, target: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in self.names
+        ):
+            self.mutated.add(target.value.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._depth:
+            for target in node.targets:
+                self._note_subscript_store(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._depth:
+            self._note_subscript_store(node.target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = node.func
+        if (
+            self._depth
+            and isinstance(callee, ast.Attribute)
+            and callee.attr in ("setdefault", "update")
+            and isinstance(callee.value, ast.Name)
+            and callee.value.id in self.names
+        ):
+            self.mutated.add(callee.value.id)
+        name = None
+        if isinstance(callee, ast.Name):
+            name = callee.id
+        elif isinstance(callee, ast.Attribute):
+            name = callee.attr
+        if name is not None and name.startswith("register_"):
+            for descendant in ast.walk(node):
+                if isinstance(descendant, ast.Name) and descendant.id in self.names:
+                    self.registered.add(descendant.id)
+        self.generic_visit(node)
+
+
+def _module_cache_findings(
+    tree: ast.Module, lines: Sequence[str], path: str
+) -> List[Finding]:
+    if not _in_repro_tree(path):
+        return []
+    candidates = {}
+    for statement in tree.body:
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        else:
+            continue
+        if not _is_dict_expr(value):
+            continue
+        line = lines[statement.lineno - 1] if statement.lineno <= len(lines) else ""
+        if "# mode-ok:" in line:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                candidates[target.id] = statement
+    if not candidates:
+        return []
+    scan = _CacheScan(frozenset(candidates))
+    scan.visit(tree)
+    return [
+        Finding(
+            path,
+            candidates[name].lineno,
+            candidates[name].col_offset,
+            "MC001",
+            _MC001_MESSAGE % name,
+        )
+        for name in sorted(scan.mutated - scan.registered)
+    ]
+
+
 def iter_findings(source: str, path: str = "<string>") -> Iterator[Finding]:
     """Lint one source text; syntax errors surface as a ``SYN001`` finding."""
     try:
@@ -302,6 +439,9 @@ def iter_findings(source: str, path: str = "<string>") -> Iterator[Finding]:
         return
     linter = _Linter(path)
     linter.visit(tree)
+    linter.findings.extend(
+        _module_cache_findings(tree, source.splitlines(), path)
+    )
     yield from sorted(linter.findings)
 
 
