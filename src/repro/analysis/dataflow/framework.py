@@ -44,8 +44,10 @@ __all__ = [
     "PowersetLattice",
     "SubsumptionLattice",
     "ForwardProblem",
+    "BackwardProblem",
     "FixpointResult",
     "solve_forward",
+    "solve_backward",
 ]
 
 
@@ -166,6 +168,45 @@ class ForwardProblem(Generic[V]):
         raise NotImplementedError
 
 
+class BackwardProblem(Generic[V]):
+    """A backward dataflow problem over a finite labelled graph.
+
+    The mirror image of :class:`ForwardProblem`: information flows from a
+    node's *successors* back to the node, the boundary condition
+    (:meth:`exit`) is injected where forward problems inject ``entry``,
+    and :meth:`transfer` abstracts an edge traversed against its
+    direction -- given the value holding *after* the edge, it produces
+    the contribution holding *before* it.  The least solution satisfies::
+
+        value(n)  >=  exit(n)  \\/  join over edges (n --label--> m) of
+                                    transfer(label, value(m))
+
+    Solved by :func:`solve_backward`, which runs the *same* worklist core
+    as :func:`solve_forward` on the edge-reversed graph -- there is no
+    second solver loop, so the determinism discipline (repr-sorted
+    seeding, FIFO dedup, budget-charged edge evaluations) carries over
+    verbatim, for both :class:`PowersetLattice` and the antichain
+    :class:`SubsumptionLattice`.
+    """
+
+    lattice: Lattice[V]
+
+    def nodes(self) -> Iterable[Node]:
+        raise NotImplementedError
+
+    def exit(self, node: Node) -> V:
+        """The boundary value injected at *node* (bottom for most nodes)."""
+        raise NotImplementedError
+
+    def out_edges(self, node: Node) -> Iterable[Tuple[Label, Node]]:
+        """Edges in the *original* (forward) direction, as drawn."""
+        raise NotImplementedError
+
+    def transfer(self, label: Label, value: V) -> V:
+        """Flow *value* (holding at the edge's target) back over the edge."""
+        raise NotImplementedError
+
+
 class FixpointResult(Generic[V]):
     """The least fixpoint plus solver effort counters.
 
@@ -248,3 +289,53 @@ def solve_forward(
                 worklist.append(target)
                 queued.add(target)
     return FixpointResult(values, iterations, edge_evaluations)
+
+
+class _ReversedProblem(ForwardProblem[V]):
+    """A :class:`BackwardProblem` viewed forward over the reversed graph.
+
+    Reversal is the whole adapter: ``entry`` is the backward ``exit``
+    boundary and ``out_edges`` walks a precomputed predecessor index, so
+    :func:`solve_forward`'s worklist, budget charging, and join/widen
+    sequence run unchanged.  The predecessor lists are built in
+    repr-sorted node order and keep each node's declared edge order, so
+    the edge evaluation sequence is as deterministic as the forward one.
+    """
+
+    def __init__(self, problem: BackwardProblem[V]) -> None:
+        self.lattice = problem.lattice
+        self._problem = problem
+        self._nodes = sorted(problem.nodes(), key=repr)
+        in_edges: Dict[Node, List[Tuple[Label, Node]]] = {
+            node: [] for node in self._nodes
+        }
+        for node in self._nodes:
+            for label, target in problem.out_edges(node):
+                in_edges.setdefault(target, []).append((label, node))
+        self._in_edges = in_edges
+
+    def nodes(self) -> Iterable[Node]:
+        return self._nodes
+
+    def entry(self, node: Node) -> V:
+        return self._problem.exit(node)
+
+    def out_edges(self, node: Node) -> Iterable[Tuple[Label, Node]]:
+        return self._in_edges.get(node, ())
+
+    def transfer(self, label: Label, value: V) -> V:
+        return self._problem.transfer(label, value)
+
+
+def solve_backward(
+    problem: BackwardProblem[V],
+    max_edge_evaluations=None,
+) -> Optional[FixpointResult[V]]:
+    """Least solution of the backward *problem*.
+
+    Delegates to :func:`solve_forward` over the edge-reversed graph --
+    there is deliberately no second solver loop, so the budget contract
+    (int or :class:`Budget`, ``None`` on exhaustion) and the effort
+    counters mean exactly what they mean forward.
+    """
+    return solve_forward(_ReversedProblem(problem), max_edge_evaluations)

@@ -19,6 +19,14 @@ Code block (docs/ANALYSIS.md has the full table):
   a state on every run reaching it.  Carries a reachability witness.
 * ``DF005`` -- analysis skipped (register count above the Bell-domain cap
   or fixpoint budget exhausted); informational, mirrors ``RA139``.
+* ``DF006`` -- dead register: its content at a state can never be read
+  again (backward liveness).  Carries a "never read after here" cone
+  certificate.
+* ``DF007`` -- non-co-reachable state: no accepting lasso is abstractly
+  reachable from it, refining the graph-level ``RA111`` check.
+* ``DF008`` -- write-only register: written/constrained but never read
+  by any guard, so it is a projection candidate
+  (:func:`repro.core.reduction.project_dead_registers`).
 
 Findings carry machine-readable payloads in ``Diagnostic.data`` so the
 JSON report (``--format json``) exposes the witness / proof to CI.
@@ -35,10 +43,12 @@ from repro.analysis.engine import analysis_pass
 from repro.analysis.dataflow import (
     MAX_REGISTERS,
     ReachableTypes,
+    analyze_co_reachability,
     analyze_reachable_types,
+    analyze_register_liveness,
     reachable_types_outcome,
 )
-from repro.analysis.passes_automata import _forward_reachable
+from repro.analysis.passes_automata import _coaccessible, _forward_reachable
 
 #: Witness paths are pair-graph BFS walks; cap how many get computed per
 #: report so analysing a large automaton stays linear-ish.
@@ -155,4 +165,119 @@ def dataflow_constancy_pass(automaton: RegisterAutomaton) -> Iterator[Diagnostic
                 "state %r" % (state,),
             ),
             data={"pairs": [list(pair) for pair in pairs], "witness": witness},
+        )
+
+
+@analysis_pass(
+    "dataflow-liveness", RegisterAutomaton, codes=("DF006", "DF008")
+)
+def dataflow_liveness_pass(automaton: RegisterAutomaton) -> Iterator[Diagnostic]:
+    """Dead and write-only registers from the backward liveness fixpoint.
+
+    ``DF008`` (warning) flags registers some guard writes but no guard
+    ever reads -- their stored content never influences acceptance, so
+    they are exactly the registers
+    :func:`repro.core.reduction.project_dead_registers` can drop.
+    ``DF006`` (info, like the ``DF004`` refinement facts) reports, per
+    reachable state, the registers whose content is provably never read
+    *from that state on* -- restricted to registers that are read
+    somewhere else (never-read registers are ``DF008``'s, never-mentioned
+    ones ``RA120``'s), so each finding is a genuinely positional fact.
+    Skipped silently when the analysis is over budget (the backward
+    powerset domain declines only past the antichain register cap or the
+    edge budget; ``RS004`` events record the decline).
+    """
+    liveness = analyze_register_liveness(automaton)
+    if liveness is None:
+        return
+    for register in liveness.write_only_registers():
+        yield replace(
+            warning(
+                "DF008",
+                "register %d is written but live at no state: no guard "
+                "reads it and it is never copied into a live register, so "
+                "its content never influences acceptance (projection "
+                "candidate)" % register,
+            ),
+            data={
+                "register": register,
+                "reduction": "repro.core.reduction.project_dead_registers",
+            },
+        )
+    read_somewhere = set(liveness.read_registers())
+    proof_budget = [WITNESS_CAP]
+    graph_reachable = _forward_reachable(automaton)
+    for state in sorted(automaton.states, key=repr):
+        if state not in graph_reachable:
+            continue  # RA110 already reports unreachable states
+        dead = [r for r in liveness.dead_at(state) if r in read_somewhere]
+        if not dead:
+            continue
+        proofs = {}
+        if proof_budget[0] > 0:
+            proof_budget[0] -= 1
+            proofs = {
+                str(register): liveness.never_read_proof(state, register)
+                for register in dead
+            }
+        yield replace(
+            info(
+                "DF006",
+                "register%s %s dead here: the stored content can never be "
+                "read again on any path from this state"
+                % ("s" if len(dead) > 1 else "",
+                   ", ".join("x%d" % r for r in dead)),
+                "state %r" % (state,),
+            ),
+            data={"dead": dead, "proofs": proofs},
+        )
+
+
+@analysis_pass("dataflow-coreachability", RegisterAutomaton, codes=("DF007",))
+def dataflow_coreachability_pass(
+    automaton: RegisterAutomaton,
+) -> Iterator[Diagnostic]:
+    """States from which no accepting lasso is abstractly reachable.
+
+    Refines ``RA111`` (graph co-accessibility to an accepting *state*)
+    to Buchi semantics under the equality-types abstraction: a state is
+    flagged when every path to an accepting cycle is cut by an
+    infeasible guard, or when the accepting states it reaches sit on no
+    feasible cycle at all.  States other passes already explain are
+    skipped -- graph-unreachable (``RA110``), abstractly unreachable
+    (``DF002``), graph-dead (``RA111``) -- as is the no-accepting-states
+    case (``RA112``).  Silent when the analysis is over budget (``DF005``
+    reports the forward decline).
+    """
+    if not automaton.accepting:
+        return  # RA112 covers the empty acceptance condition
+    co_reachability = analyze_co_reachability(automaton)
+    if co_reachability is None:
+        return
+    types = analyze_reachable_types(automaton)
+    if types is None:
+        return
+    graph_reachable = _forward_reachable(automaton)
+    graph_live = _coaccessible(automaton)
+    anchors = sorted(co_reachability.anchors, key=repr)
+    for state in co_reachability.non_co_reachable_states():
+        if state not in graph_reachable:
+            continue  # RA110
+        if not types.is_reachable(state):
+            continue  # DF002
+        if state not in graph_live:
+            continue  # RA111
+        yield replace(
+            warning(
+                "DF007",
+                "state cannot reach any accepting lasso: every accepting "
+                "cycle is abstractly unreachable from here, so no "
+                "accepting run visits this state (Buchi semantics)",
+                "state %r" % (state,),
+            ),
+            data={
+                "anchors": [repr(a) for a in anchors],
+                "reachable_anchors": [],
+                "graph_coaccessible": True,
+            },
         )

@@ -312,9 +312,9 @@ class BuchiAutomaton:
             q1, q2, phase = worklist.pop()
             moves1 = self._transitions.get(q1, {})
             moves2 = other._transitions.get(q2, {})
-            for symbol in set(moves1) & set(moves2):
-                for t1 in moves1[symbol]:
-                    for t2 in moves2[symbol]:
+            for symbol in sorted(set(moves1) & set(moves2), key=repr):
+                for t1 in sorted(moves1[symbol], key=repr):
+                    for t2 in sorted(moves2[symbol], key=repr):
                         if phase == 1:
                             nxt_phase = 2 if q1 in self._accepting else 1
                         else:

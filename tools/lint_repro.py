@@ -44,13 +44,27 @@ in ``id`` -- and extends the ruleset:
   ``# mode-ok: <why>`` comment.  Only applies to files under a
   ``repro`` package directory; tests, tools and benchmarks manage their
   own cache lifetimes.
+* ``ORD001`` -- iteration over an unordered container (a ``set(...)`` /
+  ``frozenset(...)`` call, a set literal or comprehension, or a
+  ``.keys()`` view) as the iterable of a loop or comprehension.  Hash
+  order varies across runs, hash seeds and interning modes, and in this
+  codebase loop order routinely feeds diagnostic ordering, report
+  rendering and worklist seeding -- the byte-identity guarantees
+  (``REPRO_WORKERS`` / ``REPRO_INTERN`` / ``REPRO_REDUCE`` A/B runs)
+  only hold when every such loop is ``sorted(...)``.  Annotate the line
+  with ``# order-ok: <why>`` when the order provably cannot reach any
+  output (e.g. the body only accumulates into another set).  Only
+  applies to files under a ``repro`` package directory.
 
 Usage::
 
-    python tools/lint_repro.py [path ...]     # default: src/
+    python tools/lint_repro.py [options] [path ...]     # default: src/
 
 Paths may be files or directories (directories are walked for ``*.py``,
 skipping ``__pycache__``).  Exit status 1 when any finding is reported.
+``--format json`` emits a machine-readable report (the CI lint job
+parses it); ``--select`` / ``--ignore`` take comma-separated code lists
+to narrow a run to, or exempt, specific rules.
 
 The module is importable (``iter_findings`` / ``lint_paths``) so the test
 suite runs the linter in-process against both fixtures and the real tree.
@@ -108,11 +122,13 @@ def _in_repro_tree(path: str) -> bool:
 
 
 class _Linter(ast.NodeVisitor):
-    def __init__(self, path: str):
+    def __init__(self, path: str, lines: Sequence[str] = ()):
         self.path = path
+        self.lines = lines
         self.findings: List[Finding] = []
         self._id_shadowed = 0
         self._hot_tree = _in_hot_tree(path)
+        self._repro_tree = _in_repro_tree(path)
         # ENV001 scope tracking: 0 = import time (module level, class body,
         # decorators and defaults of top-level functions), >0 = call time.
         self._function_depth = 0
@@ -231,6 +247,69 @@ class _Linter(ast.NodeVisitor):
                 "with_literals, eq/neq/rel) or hoist construction out of "
                 "the loop" % name,
             )
+
+    # ORD001 ------------------------------------------------------------ #
+
+    _ORD001_MESSAGE = (
+        "iteration over an unordered %s: hash order leaks into diagnostic "
+        "ordering, report rendering or worklist seeding and varies across "
+        "runs and interning modes; wrap the iterable in sorted(...) or "
+        "annotate '# order-ok: <why>' when the order provably cannot "
+        "reach any output"
+    )
+
+    def _unordered_kind(self, node: ast.expr):
+        """What unordered container *node* is, or ``None``."""
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id in ("set", "frozenset"):
+                return "%s(...) call" % callee.id
+            if isinstance(callee, ast.Attribute) and callee.attr == "keys":
+                return ".keys() view"
+        if isinstance(node, ast.Set):
+            return "set literal"
+        if isinstance(node, ast.SetComp):
+            return "set comprehension"
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # set algebra (union/intersection/difference) over an
+            # unordered operand is itself unordered
+            return self._unordered_kind(node.left) or self._unordered_kind(
+                node.right
+            )
+        return None
+
+    def _order_exempt(self, node: ast.expr) -> bool:
+        line = ""
+        if 0 < node.lineno <= len(self.lines):
+            line = self.lines[node.lineno - 1]
+        return "# order-ok:" in line
+
+    def _check_unordered_iter(self, iterable: ast.expr) -> None:
+        if not self._repro_tree:
+            return
+        kind = self._unordered_kind(iterable)
+        if kind is not None and not self._order_exempt(iterable):
+            self._report(iterable, "ORD001", self._ORD001_MESSAGE % kind)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._check_unordered_iter(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
 
     # DEF001 ------------------------------------------------------------ #
 
@@ -437,11 +516,10 @@ def iter_findings(source: str, path: str = "<string>") -> Iterator[Finding]:
             "file does not parse: %s" % failure.msg,
         )
         return
-    linter = _Linter(path)
+    lines = source.splitlines()
+    linter = _Linter(path, lines)
     linter.visit(tree)
-    linter.findings.extend(
-        _module_cache_findings(tree, source.splitlines(), path)
-    )
+    linter.findings.extend(_module_cache_findings(tree, lines, path))
     yield from sorted(linter.findings)
 
 
@@ -467,16 +545,65 @@ def lint_paths(paths: Sequence[str]) -> List[Finding]:
     return findings
 
 
+def _parse_codes(option: str) -> frozenset:
+    return frozenset(
+        code.strip().upper() for code in option.split(",") if code.strip()
+    )
+
+
 def main(argv: Sequence[str] = None) -> int:
-    arguments = list(sys.argv[1:] if argv is None else argv)
-    targets = arguments or ["src"]
-    findings = lint_paths(targets)
-    for finding in findings:
-        print(finding.format())
-    if findings:
-        print("%d finding(s)." % len(findings), file=sys.stderr)
-        return 1
-    return 0
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="lint_repro",
+        description="AST-based repo linter (project-specific rules).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="output format; 'json' emits {findings, count} for CI parsing",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated codes to report exclusively (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        help="comma-separated codes to suppress",
+    )
+    options = parser.parse_args(sys.argv[1:] if argv is None else list(argv))
+    findings = lint_paths(options.paths or ["src"])
+    selected = _parse_codes(options.select)
+    ignored = _parse_codes(options.ignore)
+    if selected:
+        findings = [f for f in findings if f.code in selected]
+    if ignored:
+        findings = [f for f in findings if f.code not in ignored]
+    if options.output_format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f._asdict() for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print("%d finding(s)." % len(findings), file=sys.stderr)
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":
