@@ -133,11 +133,16 @@ class BuchiAutomaton:
         access path as the prefix and the cycle as the period.
         """
         # BFS forward from initial states, remembering parents for paths.
+        # Seeds are sorted by repr, matching the edge ordering below: the
+        # witness lasso is then independent of the hash order of the
+        # initial frozenset (ORD001), which the code-based emptiness kernel
+        # relies on to replay this search over renamed states.
+        seeds = sorted(self._initial, key=repr)
         parent: Dict[State, Tuple[Optional[State], object]] = {
-            state: (None, None) for state in self._initial
+            state: (None, None) for state in seeds
         }
-        order: List[State] = list(self._initial)
-        queue = list(self._initial)
+        order: List[State] = list(seeds)
+        queue = list(seeds)
         while queue:
             state = queue.pop(0)
             for symbol, targets in sorted(

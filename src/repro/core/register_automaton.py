@@ -24,7 +24,7 @@ from repro.foundations.diagnostics import Diagnostic, error
 from repro.foundations.errors import SpecificationError
 from repro.logic.terms import Const, Var, register_index, x_vars, y_vars
 from repro.logic.types import SigmaType
-from repro.core.caching import AutomatonIndex
+from repro.core.caching import AutomatonIndex, cached_method
 
 State = Hashable
 
@@ -228,8 +228,18 @@ class RegisterAutomaton:
     def has_transition(self, source: State, guard: SigmaType, target: State) -> bool:
         return Transition(source, guard, target) in set(self._transitions)
 
+    @cached_method("automaton.guard_vocabulary")
     def guard_vocabulary(self) -> Tuple[Tuple[Var, ...], Tuple[Const, ...]]:
-        """The (variables, constants) over which guards are complete."""
+        """The (variables, constants) over which guards are complete.
+
+        Cached per automaton instance (``CacheStats`` name
+        ``automaton.guard_vocabulary``): the completeness predicates and the
+        completion loops below ask for it once per guard, and rebuilding
+        ``2k`` interned variables plus the constant tuple each time showed
+        up in normalisation profiles.  The memo holds interned terms but is
+        keyed by the automaton instance and dies with it, so an interning
+        mode flip cannot serve stale values to new automata (MC001).
+        """
         variables = tuple(x_vars(self._k)) + tuple(y_vars(self._k))
         return variables, self._signature.const_terms()
 
@@ -320,9 +330,11 @@ class RegisterAutomaton:
         fire delta".  Quadratic in the worst case; register traces are
         preserved (Example 3).
         """
-        pairs = {
-            (t.source, t.guard) for t in self._transitions
-        }
+        # dict.fromkeys, not a set comprehension: the pairs feed the state
+        # and initial/accepting sets below (frozensets, order-free) but are
+        # also what callers iterate when inspecting the result, so keep the
+        # deterministic first-occurrence order (ORD001).
+        pairs = dict.fromkeys((t.source, t.guard) for t in self._transitions)
         new_transitions: List[Transition] = []
         for transition in self._transitions:
             source_pair = (transition.source, transition.guard)
@@ -330,8 +342,8 @@ class RegisterAutomaton:
                 new_transitions.append(
                     Transition(source_pair, transition.guard, (follow.source, follow.guard))
                 )
-        new_initial = {pair for pair in pairs if pair[0] in self._initial}
-        new_accepting = {pair for pair in pairs if pair[0] in self._accepting}
+        new_initial = [pair for pair in pairs if pair[0] in self._initial]
+        new_accepting = [pair for pair in pairs if pair[0] in self._accepting]
         return RegisterAutomaton(
             self._k,
             self._signature,

@@ -27,7 +27,7 @@ from functools import cached_property
 from itertools import product as cartesian_product
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.foundations.errors import InconsistentTypeError
+from repro.foundations.errors import InconsistentTypeError, SpecificationError
 from repro.foundations.interning import (
     interning_enabled,
     register_intern_table,
@@ -684,6 +684,178 @@ def _enumerate_interval(e_mask: int, d_mask: int, k: int) -> Iterator[int]:
 def interval_size(e_mask: int, d_mask: int, k: int) -> int:
     """How many partitions the interval contains (diagnostics/benchmarks)."""
     return len(enumerate_interval_codes(e_mask, d_mask, k))
+
+
+# ---------------------------------------------------------------------- #
+# completion codes: guard completions as integers (the symkernel front)
+# ---------------------------------------------------------------------- #
+#
+# The emptiness pipeline completes guards over the 2k-variable vocabulary
+# x1..xk, y1..yk; each completion settles every variable pair and is hence
+# a set partition of the vocabulary -- exactly what a pair-bitmask code over
+# ``pair_bits(len(vocab))`` describes.  :func:`enumerate_completion_codes`
+# lists those codes in the order :meth:`SigmaType.completions` yields the
+# corresponding complete types, without constructing a single literal, and
+# :func:`decode_completion` rebuilds any one completion literal-for-literal
+# (the byte-identity anchor of ``repro.core.symkernel``, the same replay
+# trick as :func:`decode_partition_code`).
+#
+# Validity domain: the guard must settle vocabulary pairs through its
+# *equality closure* alone.  Relational literals can prune completion
+# branches in ways no pair mask sees (``R(x1) and not R(x2)`` refutes the
+# ``x1 = x2`` branch without entailing ``x1 != x2``), so callers must stay
+# on equality types -- :func:`guard_completion_search` raises otherwise.
+# That is precisely the domain of the emptiness kernel, whose eligibility
+# gate requires a relation-free signature.
+
+
+def completion_masks(delta: "SigmaType", terms: Tuple[Term, ...]) -> Tuple[int, int]:
+    """The guard's entailed (equal, distinct) pair masks over *terms*.
+
+    Bit ``b`` of the first mask is set when the guard entails equality of
+    the ``b``-th vocabulary pair (in :func:`pair_bits` order over the term
+    sequence), bit ``b`` of the second when it entails the disequality.
+    Entailment goes through the full literal closure, so chains through
+    terms outside the vocabulary are captured.
+    """
+    closure = delta.closure
+    e_mask = 0
+    d_mask = 0
+    for bit, (i, j) in enumerate(pair_bits(len(terms))):
+        left, right = terms[i - 1], terms[j - 1]
+        if closure.entails_eq(left, right):
+            e_mask |= 1 << bit
+        elif closure.entails_neq(left, right):
+            d_mask |= 1 << bit
+    return e_mask, d_mask
+
+
+def guard_completion_search(
+    delta: "SigmaType", terms: Tuple[Term, ...]
+) -> Tuple[Tuple[int, ...], Dict[int, Tuple[Tuple[int, bool], ...]]]:
+    """Codes and branch choices of the guard's completions over *terms*.
+
+    Returns ``(codes, choices)``: the partition codes in legacy
+    ``completions()`` order, and for each code the ``(pair_bit, positive)``
+    decisions the backtracking search made to reach it -- exactly the
+    literals the legacy enumeration would have accumulated.  Memoised on
+    the type instance per vocabulary (pure integers: interning-mode safe).
+    """
+    if not delta.is_equality_type():
+        raise SpecificationError(
+            "completion codes require an equality type, got %r" % (delta,)
+        )
+    terms = tuple(terms)
+    memo = delta.__dict__.setdefault("_completion_codes_memo", {})
+    found = memo.get(terms)
+    if found is None:
+        e_mask, d_mask = completion_masks(delta, terms)
+        leaves = tuple(_completion_code_search(e_mask, d_mask, len(terms)))
+        codes = tuple(code for code, _ in leaves)
+        choices = {code: chosen for code, chosen in leaves}
+        # Assigned only after the full (deadline-interruptible) search, so
+        # an expiry never poisons the memo with a partial enumeration.
+        memo[terms] = found = (codes, choices)
+    return found
+
+
+def enumerate_completion_codes(
+    delta: "SigmaType", terms: Tuple[Term, ...]
+) -> Tuple[int, ...]:
+    """The guard's completion partitions over *terms*, as codes.
+
+    ``enumerate_completion_codes(g, vocab)[n]`` is the partition code of
+    ``list(g.completions({}, vocab))[n]``: same completions, same order,
+    no :class:`SigmaType` construction.
+    """
+    return guard_completion_search(delta, terms)[0]
+
+
+def decode_completion(delta: "SigmaType", code: int, terms: Tuple[Term, ...]) -> "SigmaType":
+    """The completion of *delta* whose partition code is *code*.
+
+    Replays the recorded branch choices as literals, so the result carries
+    exactly the literal set the legacy enumeration built -- under interning
+    it *is* the same object ``completions()`` yields.
+    """
+    codes, choices = guard_completion_search(delta, tuple(terms))
+    chosen = choices.get(code)
+    if chosen is None:
+        raise SpecificationError(
+            "code %d is not a completion of %r over this vocabulary" % (code, delta)
+        )
+    pairs = pair_bits(len(terms))
+    literals = [
+        Literal(EqAtom(terms[pairs[bit][0] - 1], terms[pairs[bit][1] - 1]), positive)
+        for bit, positive in chosen
+    ]
+    return delta.with_literals(literals)
+
+
+def _completion_code_search(
+    e_mask: int, d_mask: int, n: int
+) -> Iterator[Tuple[int, Tuple[Tuple[int, bool], ...]]]:
+    """The completion DFS of ``_enumerate_completions`` over pure masks.
+
+    Seeds a union-find from the entailed equalities and a disequality edge
+    set from the entailed disequalities, then branches eq-first on every
+    unsettled pair -- the same skip and branch schedule as the legacy
+    literal-level search (both branches of an unsettled pair are always
+    consistent on an equality type).  Yields ``(code, choices)`` leaves.
+    """
+    pairs = pair_bits(n)
+
+    def entailed_neq(labels, neq_edges, ri: int, rj: int) -> bool:
+        for a, b in neq_edges:
+            roots = (labels[a], labels[b])
+            if roots == (ri, rj) or roots == (rj, ri):
+                return True
+        return False
+
+    def extend(bit: int, labels, neq_edges, chosen):
+        # One ambient-deadline poll per search node, mirroring the legacy
+        # completion enumeration (see ``SigmaType._enumerate_completions``).
+        active = current_deadline()
+        if active is not None:
+            active.check("types.completion_codes")
+        while bit < len(pairs):
+            i, j = pairs[bit]
+            ri, rj = labels[i], labels[j]
+            if ri == rj or entailed_neq(labels, neq_edges, ri, rj):
+                bit += 1
+                continue
+            root, other = min(ri, rj), max(ri, rj)
+            merged = tuple(root if label == other else label for label in labels)
+            yield from extend(bit + 1, merged, neq_edges, chosen + ((bit, True),))
+            yield from extend(bit + 1, labels, neq_edges + ((i, j),), chosen + ((bit, False),))
+            return
+        code = 0
+        for index, (i, j) in enumerate(pairs):
+            if labels[i] == labels[j]:
+                code |= 1 << index
+        yield code, chosen
+
+    labels = list(range(n + 1))
+
+    def find(register: int) -> int:
+        while labels[register] != register:
+            labels[register] = labels[labels[register]]
+            register = labels[register]
+        return register
+
+    for bit, (i, j) in enumerate(pairs):
+        if e_mask >> bit & 1:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                labels[max(ri, rj)] = min(ri, rj)
+    seeded = tuple(find(register) if register else 0 for register in range(n + 1))
+    neq_edges: Tuple[Tuple[int, int], ...] = ()
+    for bit, (i, j) in enumerate(pairs):
+        if d_mask >> bit & 1:
+            if seeded[i] == seeded[j]:
+                return  # the guard itself is inconsistent: nothing to list
+            neq_edges += ((i, j),)
+    yield from extend(0, seeded, neq_edges, ())
 
 
 #: Complete equality x-types per register count (the Bell(k) partitions of

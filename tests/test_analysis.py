@@ -434,6 +434,22 @@ def test_completed_automata_pass_completeness(seed, k):
     assert "RA130" not in report.codes()
 
 
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=2))
+def test_fully_completed_automata_pass_completeness(seed, k):
+    """``completed()`` parity with the ``equality_completed()`` test above.
+
+    On a relation-free signature the two coincide semantically, but they
+    run different code paths (``completions`` with the full relation map
+    vs the empty one); both must be certified RA130-clean.
+    """
+    rng = random.Random(seed)
+    automaton = random_register_automaton(rng, k=k, n_states=3, n_transitions=4)
+    report = analyze(automaton.completed(), only=["completeness", "guard-sat"])
+    assert report.ok, report.render()
+    assert "RA130" not in report.codes()
+
+
 @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=3))
 def test_state_driven_automata_pass_determinism(seed, k):

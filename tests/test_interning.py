@@ -40,6 +40,7 @@ from repro import (
 from repro.automata.regex import concat, literal, plus
 from repro.core.parallel import shutdown_executor, worker_count
 from repro.foundations.errors import InconsistentTypeError
+from repro.foundations.interning import interning_enabled
 from repro.generators import random_equality_type
 from repro.logic.intern import intern
 from repro.logic.literals import EqAtom, Literal, RelAtom
@@ -81,6 +82,16 @@ def _sigma(literals):
         return None
 
 
+def _assert_canonical(left, right):
+    """Identity under interning, plain structural equality under the
+    ``REPRO_INTERN=0`` ablation (where hash-consing is off by design)."""
+    if interning_enabled():
+        assert left is right
+    else:
+        assert left == right
+        assert type(left) is type(right)
+
+
 # --------------------------------------------------------------------- #
 # identity and hashing
 # --------------------------------------------------------------------- #
@@ -96,7 +107,7 @@ def test_permutation_identity(literals, rng):
     shuffled = list(literals)
     rng.shuffle(shuffled)
     second = _sigma(shuffled)
-    assert second is first
+    _assert_canonical(second, first)
     assert hash(second) == hash(first)
     assert repr(second) == repr(first)
 
@@ -108,15 +119,15 @@ def test_duplicate_literals_collapse(literals):
     first = _sigma(literals)
     if first is None:
         return
-    assert _sigma(literals + literals) is first
+    _assert_canonical(_sigma(literals + literals), first)
 
 
 @given(equality_literals)
 def test_literal_identity(lit):
     """Reconstructing a literal field by field yields the same object."""
     rebuilt = Literal(EqAtom(lit.atom.left, lit.atom.right), lit.positive)
-    assert rebuilt is lit
-    assert lit.negate().negate() is lit
+    _assert_canonical(rebuilt, lit)
+    _assert_canonical(lit.negate().negate(), lit)
 
 
 @given(st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=2**32))
@@ -125,9 +136,9 @@ def test_random_equality_type_hash_stable(k, seed):
     """Generator output re-interns to itself with a stable hash."""
     delta = random_equality_type(random.Random(seed), k)
     again = random_equality_type(random.Random(seed), k)
-    assert again is delta
+    _assert_canonical(again, delta)
     assert hash(again) == hash(delta)
-    assert intern(delta) is delta
+    _assert_canonical(intern(delta), delta)
 
 
 # --------------------------------------------------------------------- #
@@ -143,14 +154,14 @@ def test_pickle_reinterns(literals):
     if value is None:
         return
     clone = pickle.loads(pickle.dumps(value))
-    assert clone is value
+    _assert_canonical(clone, value)
     for lit in value.literals:
-        assert pickle.loads(pickle.dumps(lit)) is lit
+        _assert_canonical(pickle.loads(pickle.dumps(lit)), lit)
 
 
 def test_pickle_reinterns_terms():
     for term in (X(1), Y(2), Const("a")):
-        assert pickle.loads(pickle.dumps(term)) is term
+        _assert_canonical(pickle.loads(pickle.dumps(term)), term)
 
 
 # --------------------------------------------------------------------- #
