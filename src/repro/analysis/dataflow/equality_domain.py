@@ -38,10 +38,10 @@ plain :func:`analyze_reachable_types` wrapper keeps the historical
 about the value.
 """
 
-import os
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.foundations import knobs
 from repro.foundations.diagnostics import Severity
 from repro.foundations.resilience import Budget, Outcome, record_event
 from repro.core.register_automaton import RegisterAutomaton, State, Transition
@@ -96,8 +96,7 @@ def antichain_enabled() -> bool:
     Bell(k) powerset domain (A/B ablations, and the CI leg that keeps the
     old path green).  Read at call time, like every behaviour knob.
     """
-    raw = os.environ.get("REPRO_ANTICHAIN", "").strip().lower()
-    return raw not in ("0", "false", "off", "no")
+    return knobs.value("REPRO_ANTICHAIN")
 
 #: Default cap on transfer-function applications in the fixpoint solver.
 #: Each state is re-queued at most Bell(k) times (its value strictly grows),

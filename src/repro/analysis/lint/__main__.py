@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.lint`` -- the lint CLI entry point."""
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

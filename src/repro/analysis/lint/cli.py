@@ -1,0 +1,104 @@
+"""The lint CLI: the ``tools/lint_repro.py`` surface plus docs emission.
+
+Flags, defaults, output formats and exit codes are byte-compatible with
+the pre-refactor tool (the CI lint job and the golden tests depend on
+it); the only additions are ``--emit-docs`` / ``--check`` for the
+generated documentation tables.
+
+Usage::
+
+    python -m repro.analysis.lint [options] [path ...]   # default: src/
+    python -m repro.analysis.lint --emit-docs [--check]
+
+``--format json`` emits ``{"findings": [...], "count": N}`` for the CI
+job; ``--select`` / ``--ignore`` take comma-separated code lists.  Exit
+status 1 when any finding is reported (or, under ``--emit-docs
+--check``, when a generated table is stale).
+"""
+
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.lint import docs
+from repro.analysis.lint.engine import LintContext, lint_paths
+
+__all__ = ["main"]
+
+
+def _parse_codes(option: str) -> frozenset:
+    return frozenset(
+        code.strip().upper() for code in option.split(",") if code.strip()
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="lint_repro",
+        description="AST-based repo linter (project-specific rules).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="output format; 'json' emits {findings, count} for CI parsing",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated codes to report exclusively (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        help="comma-separated codes to suppress",
+    )
+    parser.add_argument(
+        "--emit-docs",
+        action="store_true",
+        dest="emit_docs",
+        help="regenerate the rule/knob tables in docs/ instead of linting",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="with --emit-docs: report drift without rewriting the files",
+    )
+    options = parser.parse_args(sys.argv[1:] if argv is None else list(argv))
+    if options.emit_docs:
+        stale = 0
+        for path, status in docs.sync_docs(LintContext(), check=options.check):
+            print("%s: %s" % (path, status))
+            if status in ("stale", "missing"):
+                stale += 1
+        return 1 if stale else 0
+    findings = lint_paths(options.paths or ["src"])
+    selected = _parse_codes(options.select)
+    ignored = _parse_codes(options.ignore)
+    if selected:
+        findings = [f for f in findings if f.code in selected]
+    if ignored:
+        findings = [f for f in findings if f.code not in ignored]
+    if options.output_format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f._asdict() for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print("%d finding(s)." % len(findings), file=sys.stderr)
+    return 1 if findings else 0

@@ -1,0 +1,154 @@
+"""Generated documentation tables: rules and knobs.
+
+Two markdown tables are owned by the registries, not by hand:
+
+* the **lint rule table** in ``docs/ANALYSIS.md``, generated from
+  :func:`repro.analysis.lint.registry.all_rules`;
+* the **environment knob table** in ``docs/ROBUSTNESS.md``, generated
+  from :func:`repro.foundations.knobs.all_knobs`.
+
+Each lives between HTML-comment markers (``<!-- lint-rule-table:begin
+-->`` / ``...end -->``) so the surrounding prose stays hand-written.
+``python -m repro.analysis.lint --emit-docs`` rewrites the blocks in
+place; ``--emit-docs --check`` (the CI drift gate) and lint rule
+``KNB003`` report when a table is stale without touching the files.
+"""
+
+from pathlib import Path
+from typing import Callable, List, Tuple
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import all_rules
+
+__all__ = [
+    "rule_table",
+    "knob_table",
+    "sync_docs",
+    "drift_findings",
+    "RULE_TABLE_BEGIN",
+    "RULE_TABLE_END",
+    "KNOB_TABLE_BEGIN",
+    "KNOB_TABLE_END",
+]
+
+RULE_TABLE_BEGIN = "<!-- lint-rule-table:begin (generated; run `python -m repro.analysis.lint --emit-docs`) -->"
+RULE_TABLE_END = "<!-- lint-rule-table:end -->"
+KNOB_TABLE_BEGIN = "<!-- knob-table:begin (generated; run `python -m repro.analysis.lint --emit-docs`) -->"
+KNOB_TABLE_END = "<!-- knob-table:end -->"
+
+
+def rule_table() -> str:
+    """The lint-rule table, one row per registered rule, sorted by code."""
+    rows = [
+        "| Code | Scope | Meaning |",
+        "| --- | --- | --- |",
+    ]
+    for rule in all_rules():
+        rows.append("| `%s` | %s | %s |" % (rule.code, rule.scope, rule.summary))
+    return "\n".join(rows)
+
+
+def knob_table() -> str:
+    """The environment-knob table, generated from the knob registry."""
+    from repro.foundations import knobs
+
+    rows = [
+        "| Variable | Default | Ablation | Meaning |",
+        "| --- | --- | --- | --- |",
+    ]
+    for knob in knobs.all_knobs():
+        if knob.ablation == "ci":
+            ablation = "CI leg"
+        else:
+            ablation = "none -- %s" % knob.ablation_reason
+        rows.append(
+            "| `%s` | %s | %s | %s |" % (knob.name, knob.default, ablation, knob.doc)
+        )
+    return "\n".join(rows)
+
+
+#: The generated blocks: (doc path relative to the context root,
+#: begin marker, end marker, generator).
+def _targets(context) -> List[Tuple[Path, str, str, Callable[[], str]]]:
+    return [
+        (context.analysis_doc, RULE_TABLE_BEGIN, RULE_TABLE_END, rule_table),
+        (context.robustness_doc, KNOB_TABLE_BEGIN, KNOB_TABLE_END, knob_table),
+    ]
+
+
+def _split_block(text: str, begin: str, end: str):
+    """``(head, block, tail)`` around the marked block, or ``None``."""
+    start = text.find(begin)
+    if start < 0:
+        return None
+    start += len(begin)
+    stop = text.find(end, start)
+    if stop < 0:
+        return None
+    return text[:start], text[start:stop], text[stop:]
+
+
+def sync_docs(context, check: bool = False) -> List[Tuple[str, str]]:
+    """Rewrite (or with *check*, diff) every generated block.
+
+    Returns ``(path, status)`` pairs with status one of ``"ok"``
+    (up to date), ``"updated"`` (rewritten -- never under *check*),
+    ``"stale"`` (*check* found drift), ``"missing"`` (file or markers
+    absent).
+    """
+    results: List[Tuple[str, str]] = []
+    for path, begin, end, generate in _targets(context):
+        if path is None or not path.exists():
+            results.append((str(path), "missing"))
+            continue
+        text = path.read_text()
+        parts = _split_block(text, begin, end)
+        if parts is None:
+            results.append((str(path), "missing"))
+            continue
+        head, block, tail = parts
+        fresh = "\n%s\n" % generate()
+        if block == fresh:
+            results.append((str(path), "ok"))
+        elif check:
+            results.append((str(path), "stale"))
+        else:
+            path.write_text(head + fresh + tail)
+            results.append((str(path), "updated"))
+    return results
+
+
+def drift_findings(context) -> List[Finding]:
+    """The ``KNB003`` findings: stale or marker-less generated blocks."""
+    findings: List[Finding] = []
+    for path, begin, end, generate in _targets(context):
+        if path is None or not path.exists():
+            continue  # sliced checkout / fixture tree: nothing to check
+        text = path.read_text()
+        parts = _split_block(text, begin, end)
+        if parts is None:
+            findings.append(
+                Finding(
+                    str(path),
+                    0,
+                    0,
+                    "KNB003",
+                    "generated-table markers (%s) are missing: restore them "
+                    "and run `python -m repro.analysis.lint --emit-docs`"
+                    % begin.split(":")[0].lstrip("<!- "),
+                )
+            )
+            continue
+        _head, block, _tail = parts
+        if block != "\n%s\n" % generate():
+            findings.append(
+                Finding(
+                    str(path),
+                    0,
+                    0,
+                    "KNB003",
+                    "generated table is stale (differs from the registry): "
+                    "run `python -m repro.analysis.lint --emit-docs`",
+                )
+            )
+    return findings

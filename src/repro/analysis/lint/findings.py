@@ -1,0 +1,24 @@
+"""The lint finding record: one diagnosable fact about one source line.
+
+Kept bit-compatible with the pre-refactor ``tools/lint_repro.py``: the
+tuple shape, field order, ``format()`` text and ``_asdict()`` JSON shape
+are all part of the CI contract (the lint job parses the JSON report,
+and the golden tests pin it byte for byte).
+"""
+
+from typing import NamedTuple
+
+__all__ = ["Finding"]
+
+
+class Finding(NamedTuple):
+    """One lint finding, formatted ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return "%s:%d:%d: %s %s" % (self.path, self.line, self.col, self.code, self.message)

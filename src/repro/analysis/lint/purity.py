@@ -1,0 +1,304 @@
+"""``PAR00x``: the worker-purity race detector.
+
+The process-pool contract (``docs/PERFORMANCE.md``) is that a parallel
+run is **byte-identical** to the serial run: work items execute in
+separate processes, so any state a payload writes -- module globals,
+``os.environ``, module-level caches -- exists only in that worker,
+vanishes with the pool, and silently diverges from what the serial path
+would have computed.  The rule family walks the call graph from every
+process-pool entry point to the functions that actually run inside
+workers and flags the hidden writes there:
+
+* ``PAR001`` -- rebinding a module-level name via ``global``;
+* ``PAR002`` -- writing ``os.environ`` (the sanctioned exception is
+  :func:`repro.foundations.knobs.pin_for_worker`, whose single write
+  carries a ``# worker-ok:`` annotation);
+* ``PAR003`` -- mutating a module-level container (dict/list/set and
+  friends).
+
+Worker entry points: the first argument of every ``parallel_map`` /
+``imap_chunked`` call (resolved through the import graph, local
+assignments, constructed ``__call__`` payloads and one level of factory
+returns -- see :mod:`repro.analysis.lint.program`), plus the pool
+plumbing itself (``repro.core.parallel._call_chunk`` runs every chunk,
+``_init_worker`` runs once per worker).
+
+Exemptions -- all of them auditable in the diff:
+
+* a ``# worker-ok: <why>`` comment on the write line (or, for
+  ``PAR003``, on the container's defining line): the write is
+  *per-process by design* (e.g. the fault-injection occurrence counters,
+  whose per-worker numbering is the documented contract);
+* a container with a ``register_*`` lifecycle hook or a ``ValueCache``
+  (those self-register clearing listeners -- a pure memo whose entries
+  are recomputable in any process is not a race);
+* findings only fire in ``repro`` package modules -- test payloads and
+  benchmark drivers manage their own state.
+
+Like every cross-file rule, resolution is best effort: an unresolvable
+payload contributes nothing (no guessing), so the detector is quiet
+rather than noisy at the boundary.
+"""
+
+import ast
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.legacy import _in_repro_tree
+from repro.analysis.lint.program import FunctionInfo, ModuleInfo, Program
+from repro.analysis.lint.registry import LintRule, register_rule
+
+__all__ = ["worker_functions", "purity_findings"]
+
+#: Call names that hand their first argument to the process pool.
+POOL_ENTRY_NAMES = ("parallel_map", "imap_chunked")
+
+#: Mutating method names on containers / ``os.environ``.
+_MUTATORS = (
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "append",
+    "extend",
+    "add",
+    "discard",
+    "remove",
+    "insert",
+)
+
+_PAR001_MESSAGE = (
+    "worker-impure function %r rebinds module-level name %r via 'global': "
+    "the write happens inside a process-pool worker, vanishes with the "
+    "pool, and diverges from the serial path; make the payload pure or "
+    "annotate the write '# worker-ok: <why>'"
+)
+
+_PAR002_MESSAGE = (
+    "worker-impure function %r writes os.environ inside a process-pool "
+    "worker: the write is invisible to the parent and to sibling workers, "
+    "breaking the serial/parallel byte-identity contract; route sanctioned "
+    "worker pins through repro.foundations.knobs.pin_for_worker or "
+    "annotate the write '# worker-ok: <why>'"
+)
+
+_PAR003_MESSAGE = (
+    "worker-impure function %r mutates module-level container %r inside a "
+    "process-pool worker: per-process copies silently diverge from the "
+    "serial run; use a registered cache (register_* lifecycle hook / "
+    "ValueCache) or annotate the write '# worker-ok: <why>'"
+)
+
+
+def _is_environ_expr(module: ModuleInfo, node: ast.expr) -> bool:
+    """Whether *node* denotes ``os.environ`` in *module*."""
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr == "environ"
+        and isinstance(node.value, ast.Name)
+        and module.imports.get(node.value.id) == "os"
+    ):
+        return True
+    return isinstance(node, ast.Name) and module.import_from.get(node.id) == (
+        "os",
+        "environ",
+    )
+
+
+def _worker_exempt(module: ModuleInfo, lineno: int) -> bool:
+    return "# worker-ok:" in module.line(lineno)
+
+
+def _container_blessed(module: ModuleInfo, name: str) -> bool:
+    if name in module.registered_names or name in module.value_caches:
+        return True
+    definition = module.containers.get(name)
+    return definition is not None and _worker_exempt(module, definition.lineno)
+
+
+# ---------------------------------------------------------------------- #
+# entry-point discovery
+# ---------------------------------------------------------------------- #
+
+
+def _payload_sites(module: ModuleInfo) -> Iterable[Tuple[ast.Call, Sequence[ast.stmt]]]:
+    """Every pool-entry call in *module* with its enclosing scope body."""
+    scopes: List[Tuple[ast.AST, Sequence[ast.stmt]]] = []
+    for fn in module.iter_functions():
+        scopes.append((fn.node, fn.node.body))
+    # Module-level statements outside any def/class (rare but legal).
+    top_level = [
+        statement
+        for statement in module.tree.body
+        if not isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+    ]
+    for statement in top_level:
+        scopes.append((statement, top_level))
+    for holder, body in scopes:
+        for node in ast.walk(holder):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            callee = node.func
+            name = None
+            if isinstance(callee, ast.Name):
+                name = callee.id
+            elif isinstance(callee, ast.Attribute):
+                name = callee.attr
+            if name in POOL_ENTRY_NAMES:
+                yield node, body
+
+
+def worker_functions(program: Program) -> List[FunctionInfo]:
+    """Every function the call graph proves can run inside a pool worker."""
+    roots: List[FunctionInfo] = []
+    seen = set()
+
+    def add(fn: FunctionInfo) -> None:
+        if fn.key not in seen:
+            seen.add(fn.key)
+            roots.append(fn)
+
+    parallel = program.by_name.get("repro.core.parallel")
+    if parallel is not None:
+        for seeded in ("_call_chunk", "_init_worker"):
+            fn = parallel.functions.get(seeded)
+            if fn is not None:
+                add(fn)
+    for module in program.modules:
+        for call, scope_body in _payload_sites(module):
+            for fn in program.resolve_payload(module, call.args[0], scope_body):
+                add(fn)
+    return program.reachable_functions(roots)
+
+
+# ---------------------------------------------------------------------- #
+# the purity scan
+# ---------------------------------------------------------------------- #
+
+
+def _scan_function(fn: FunctionInfo) -> List[Finding]:
+    module = fn.module
+    findings: List[Finding] = []
+    global_names: set = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Global):
+            global_names.update(node.names)
+
+    def report(node: ast.AST, code: str, message: str) -> None:
+        if not _worker_exempt(module, node.lineno):
+            findings.append(
+                Finding(module.path, node.lineno, node.col_offset, code, message)
+            )
+
+    def check_store_target(node: ast.AST, target: ast.expr) -> None:
+        if isinstance(target, ast.Name) and target.id in global_names:
+            report(
+                node, "PAR001", _PAR001_MESSAGE % (fn.qualname, target.id)
+            )
+        elif isinstance(target, ast.Subscript):
+            value = target.value
+            if _is_environ_expr(module, value):
+                report(node, "PAR002", _PAR002_MESSAGE % fn.qualname)
+            elif (
+                isinstance(value, ast.Name)
+                and value.id in module.containers
+                and not _container_blessed(module, value.id)
+            ):
+                report(
+                    node, "PAR003", _PAR003_MESSAGE % (fn.qualname, value.id)
+                )
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                check_store_target(node, target)
+        elif isinstance(node, ast.AugAssign):
+            check_store_target(node, node.target)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                check_store_target(node, target)
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if not isinstance(callee, ast.Attribute):
+                continue
+            if callee.attr in ("putenv", "unsetenv") and (
+                isinstance(callee.value, ast.Name)
+                and module.imports.get(callee.value.id) == "os"
+            ):
+                report(node, "PAR002", _PAR002_MESSAGE % fn.qualname)
+            elif callee.attr in _MUTATORS:
+                value = callee.value
+                if _is_environ_expr(module, value):
+                    report(node, "PAR002", _PAR002_MESSAGE % fn.qualname)
+                elif (
+                    isinstance(value, ast.Name)
+                    and value.id in module.containers
+                    and not _container_blessed(module, value.id)
+                ):
+                    report(
+                        node,
+                        "PAR003",
+                        _PAR003_MESSAGE % (fn.qualname, value.id),
+                    )
+    return findings
+
+
+def purity_findings(program: Program) -> List[Finding]:
+    """All ``PAR00x`` findings for *program*, computed once per run.
+
+    The closure and scan are shared by the three registered rules via
+    the program's memo space -- each rule then filters by its code.
+    """
+    cached = program.cache.get("purity")
+    if cached is not None:
+        return cached
+    findings: List[Finding] = []
+    seen = set()
+    workers = sorted(worker_functions(program), key=lambda fn: fn.key)
+    for fn in workers:
+        if not _in_repro_tree(fn.module.path):
+            continue
+        for finding in _scan_function(fn):
+            if finding not in seen:
+                seen.add(finding)
+                findings.append(finding)
+    program.cache["purity"] = findings
+    return findings
+
+
+def _run_code(code: str):
+    def run(program, context):
+        return [f for f in purity_findings(program) if f.code == code]
+
+    return run
+
+
+_PAR_RULES = (
+    (
+        "PAR001",
+        "worker-global-rebind",
+        "function reachable from a process-pool payload rebinds a "
+        "module-level name via `global`: the write is worker-local and "
+        "diverges from the serial path (exempt: `# worker-ok:`)",
+    ),
+    (
+        "PAR002",
+        "worker-environ-write",
+        "worker-reachable function writes `os.environ`: invisible to the "
+        "parent and sibling workers; sanctioned pins go through "
+        "`knobs.pin_for_worker` (exempt: `# worker-ok:`)",
+    ),
+    (
+        "PAR003",
+        "worker-cache-mutation",
+        "worker-reachable function mutates an unregistered module-level "
+        "container: per-process copies diverge (exempt: a `register_*` "
+        "hook, a `ValueCache`, or `# worker-ok:`)",
+    ),
+)
+
+for _code, _name, _summary in _PAR_RULES:
+    register_rule(LintRule(_code, _name, "program", _summary, _run_code(_code)))

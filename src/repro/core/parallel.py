@@ -66,6 +66,7 @@ from concurrent.futures import wait as _futures_wait
 from itertools import islice
 from typing import Callable, Deque, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
+from repro.foundations import knobs
 from repro.foundations.faults import FaultInjected, fault
 from repro.foundations.resilience import record_event
 
@@ -96,16 +97,7 @@ def worker_count() -> int:
     single-CPU host, where oversubscription is the caller's informed
     choice.
     """
-    raw = os.environ.get("REPRO_WORKERS", "").strip()
-    if not raw:
-        return 1
-    try:
-        requested = int(raw)
-    except ValueError:
-        return 1
-    if requested <= 1:
-        return 1
-    return min(requested, 64)
+    return knobs.value("REPRO_WORKERS")
 
 
 def max_pool_retries() -> int:
@@ -115,16 +107,7 @@ def max_pool_retries() -> int:
     values mean the default.  ``0`` disables respawning entirely: the
     first broken pool goes straight to the serial fallback.
     """
-    raw = os.environ.get("REPRO_MAX_POOL_RETRIES", "").strip()
-    if not raw:
-        return 1
-    try:
-        requested = int(raw)
-    except ValueError:
-        return 1
-    if requested < 0:
-        return 1
-    return min(requested, 16)
+    return knobs.value("REPRO_MAX_POOL_RETRIES")
 
 
 def _backoff_seconds() -> float:
@@ -135,16 +118,7 @@ def _backoff_seconds() -> float:
     that tests exercising the recovery path stay fast.  ``0`` disables
     the sleep (CI fault-smoke runs).
     """
-    raw = os.environ.get("REPRO_POOL_BACKOFF_MS", "").strip()
-    if not raw:
-        return 0.05
-    try:
-        milliseconds = float(raw)
-    except ValueError:
-        return 0.05
-    if milliseconds < 0:
-        return 0.05
-    return milliseconds / 1000.0
+    return knobs.value("REPRO_POOL_BACKOFF_MS")
 
 
 # ---------------------------------------------------------------------- #
@@ -156,8 +130,14 @@ _EXECUTOR_WORKERS = 0
 
 
 def _init_worker() -> None:
-    """Run in each worker process: force nested work onto the serial path."""
-    os.environ["REPRO_WORKERS"] = "1"
+    """Run in each worker process: force nested work onto the serial path.
+
+    The pin goes through :func:`repro.foundations.knobs.pin_for_worker` --
+    the one sanctioned worker-side environment write -- so the
+    worker-purity race detector (lint rule ``PAR002``) can treat every
+    *other* worker write as the hidden nondeterminism it is.
+    """
+    knobs.pin_for_worker("REPRO_WORKERS", "1")
 
 
 def _discard_executor() -> None:

@@ -34,9 +34,9 @@ Layering note: this module lives in ``core`` but the analysis lives above
 it, so the dataflow import happens lazily inside the functions.
 """
 
-import os
 from typing import Iterable, List, Optional, Tuple
 
+from repro.foundations import knobs
 from repro.core.caching import dead_states
 from repro.core.extended import ExtendedAutomaton, GlobalConstraint, _map_dfa_alphabet
 from repro.core.register_automaton import RegisterAutomaton
@@ -50,16 +50,13 @@ __all__ = [
     "build_narrowing",
 ]
 
-_OFF_VALUES = ("0", "false", "off", "no")
-
-
 def pruning_enabled() -> bool:
     """The ``REPRO_PRUNE`` knob, read at call time (default on).
 
     Mirrors :func:`repro.core.parallel.worker_count`: never cached, so
     tests and the ablation CI job can flip it per call.
     """
-    return os.environ.get("REPRO_PRUNE", "").strip().lower() not in _OFF_VALUES
+    return knobs.value("REPRO_PRUNE")
 
 
 def prune_infeasible(

@@ -48,9 +48,9 @@ Layering note: this module lives in ``core`` but the analysis lives
 above it, so the dataflow import happens lazily inside the functions.
 """
 
-import os
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.foundations import knobs
 from repro.foundations.diagnostics import Severity
 from repro.foundations.resilience import Budget, record_event
 from repro.core.extended import ExtendedAutomaton, GlobalConstraint, _map_dfa_alphabet
@@ -68,8 +68,6 @@ __all__ = [
     "project_dead_registers",
 ]
 
-_OFF_VALUES = ("0", "false", "off", "no")
-
 #: Edge-traversal budget for the three trim sweeps (forward, cycle,
 #: backward).  Each sweep is linear in the transition count, so ordinary
 #: workloads stay far below this; hitting it means the automaton is too
@@ -83,7 +81,7 @@ def reduction_enabled() -> bool:
     Mirrors :func:`repro.core.pruning.pruning_enabled`: never cached, so
     tests and the ablation CI job can flip it per call.
     """
-    return os.environ.get("REPRO_REDUCE", "").strip().lower() not in _OFF_VALUES
+    return knobs.value("REPRO_REDUCE")
 
 
 def _declined(automaton: RegisterAutomaton, budget: Budget) -> None:

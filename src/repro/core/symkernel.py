@@ -73,9 +73,9 @@ on); ``REPRO_SYMKERNEL=0`` is the ablation switch used by CI and the E19
 benchmark (``benchmarks/bench_symkernel.py``, BENCH_8.json).
 """
 
-import os
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.foundations import knobs
 from repro.automata.buchi import BuchiAutomaton
 from repro.automata.words import Lasso
 from repro.core.caching import dead_states
@@ -93,16 +93,13 @@ from repro.logic.types import (
 
 __all__ = ["symkernel_enabled", "build_kernel", "SymbolicKernel"]
 
-_OFF_VALUES = ("0", "false", "off", "no")
-
-
 def symkernel_enabled() -> bool:
     """The ``REPRO_SYMKERNEL`` knob, read at call time (default on).
 
     Mirrors :func:`repro.core.pruning.pruning_enabled`: never cached, so
     tests and the ablation CI leg can flip it per call.
     """
-    return os.environ.get("REPRO_SYMKERNEL", "").strip().lower() not in _OFF_VALUES
+    return knobs.value("REPRO_SYMKERNEL")
 
 
 # ---------------------------------------------------------------------- #

@@ -39,10 +39,10 @@ with it.  Tests should call :func:`reset_faults` around fault scenarios
 for isolation.
 """
 
-import os
 import threading
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
+from repro.foundations import knobs
 from repro.foundations.errors import ReproError
 
 __all__ = [
@@ -159,15 +159,18 @@ _ACTIVE_LOCK = threading.Lock()
 
 
 def _active_plan() -> Optional[FaultPlan]:
-    raw = os.environ.get("REPRO_FAULTS", "").strip()
+    raw = knobs.value("REPRO_FAULTS")
     if not raw:
         with _ACTIVE_LOCK:
-            _ACTIVE[0] = _ACTIVE[1] = None
+            # Per-worker occurrence numbering is the documented
+            # REPRO_FAULTS contract, so these per-process writes are
+            # exempt from the PAR003 worker-purity rule.
+            _ACTIVE[0] = _ACTIVE[1] = None  # worker-ok: per-process plan cache
         return None
     with _ACTIVE_LOCK:
         if _ACTIVE[0] != raw:
-            _ACTIVE[0] = raw
-            _ACTIVE[1] = parse_fault_plan(raw)
+            _ACTIVE[0] = raw  # worker-ok: per-process plan cache (see above)
+            _ACTIVE[1] = parse_fault_plan(raw)  # worker-ok: per-process plan cache
         return _ACTIVE[1]
 
 

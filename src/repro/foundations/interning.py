@@ -34,11 +34,11 @@ produce one transient duplicate; ``setdefault`` ensures the table keeps a
 single winner and equality remains correct either way.
 """
 
-import os
 import weakref
 from contextlib import contextmanager
 from typing import Dict, Iterator, List
 
+from repro.foundations import knobs
 from repro.foundations.stats import cache_stats
 
 __all__ = [
@@ -54,8 +54,7 @@ __all__ = [
 
 
 def _env_enabled() -> bool:
-    raw = os.environ.get("REPRO_INTERN", "").strip().lower()
-    return raw not in ("0", "false", "off", "no")
+    return bool(knobs.value("REPRO_INTERN"))
 
 
 #: Single-cell mutable flag: read on every construction, so keep it cheap.

@@ -41,7 +41,6 @@ boundaries.
 """
 
 import enum
-import os
 import threading
 import time
 from collections import deque
@@ -49,6 +48,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
+from repro.foundations import knobs
 from repro.foundations.diagnostics import Diagnostic, Severity
 from repro.foundations.errors import ReproError
 
@@ -118,14 +118,13 @@ class Deadline:
         flip the knob per call.  Unset, empty, negative or junk values
         all mean "no deadline".
         """
-        raw = os.environ.get(name, "").strip()
-        if not raw:
-            return None
-        try:
-            milliseconds = float(raw)
-        except ValueError:
-            return None
-        if milliseconds < 0:
+        knob = (
+            knobs.get_knob(name)
+            if knobs.is_registered(name)
+            else knobs.get_knob("REPRO_DEADLINE_MS")
+        )
+        milliseconds = knob.parse(knobs.raw_value(name))
+        if milliseconds is None:
             return None
         return cls.after_ms(milliseconds)
 
