@@ -41,6 +41,7 @@ from repro.core.projection import (
 from repro.core.pruning import prune_extended, prune_infeasible, pruning_enabled
 from repro.core.register_automaton import RegisterAutomaton, Transition
 from repro.core.runs import FiniteRun, LassoRun, find_lasso_run, generate_finite_runs
+from repro.core.monitor import IngestReport, MonitorMultiplexer, SessionSnapshot
 from repro.core.streaming import StreamingChecker, StreamingViolation
 from repro.core.symbolic import (
     is_symbolic_control_trace,
@@ -81,6 +82,7 @@ __all__ = [
     "RegisterAutomaton", "Transition", "FiniteRun", "LassoRun",
     "find_lasso_run", "generate_finite_runs",
     "StreamingChecker", "StreamingViolation",
+    "MonitorMultiplexer", "SessionSnapshot", "IngestReport",
     "ExtendedAutomaton", "GlobalConstraint", "eliminate_equality_constraints",
     "EnhancedAutomaton", "TupleInequalityConstraint", "FinitenessConstraint",
     "PairSelector",

@@ -33,14 +33,15 @@ __all__ = ["deadline_findings", "LONG_RUNNING_MODULES", "EXPENSIVE_NAMES"]
 
 #: Dotted module names whose loops must stay interruptible: the layers
 #: with documented checkpoint sites (emptiness.lasso, types.completions,
-#: theorem24.literal_pair/register_pair, buchi.*_round, streaming.feed_run)
-#: plus the dataflow solver.
+#: theorem24.literal_pair/register_pair, buchi.*_round, streaming.feed_run,
+#: monitor.ingest) plus the dataflow solver.
 LONG_RUNNING_MODULES = frozenset(
     {
         "repro.core.emptiness",
         "repro.core.symkernel",
         "repro.core.theorem24",
         "repro.core.streaming",
+        "repro.core.monitor",
         "repro.automata.buchi",
         "repro.logic.types",
         "repro.analysis.dataflow.framework",
@@ -58,6 +59,8 @@ EXPENSIVE_NAMES = frozenset(
         "iter_accepted_lassos",
         "iter_lassos",
         "feed_run",
+        "feed",
+        "_apply_session",
         "complete_x_types",
         "completions",
         "normalise_automaton",

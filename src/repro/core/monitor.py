@@ -1,0 +1,898 @@
+"""Crash-surviving multiplexing of streaming monitor sessions.
+
+The paper's Section 5 observation -- projection-view global constraints
+"can be enforced entirely by local transitions, in a streaming fashion"
+-- is executed by :class:`~repro.core.streaming.StreamingChecker`, one
+run in one process.  This module scales that checker to the ROADMAP's
+mass-monitoring shape: a :class:`MonitorMultiplexer` drives thousands of
+concurrent sessions over one shared specification, and survives worker
+or driver crashes without losing (or double-applying) a single event.
+
+Three ideas carry the design:
+
+* **Compact snapshots.**  :class:`SessionSnapshot` captures exactly the
+  run state :meth:`StreamingChecker.feed` depends on -- position, last
+  (state, registers) pair, failed status, strictness and the live
+  constraint threads -- in a canonical (sorted), picklable, version-tagged
+  form.  Theorem 19's register discipline bounds the live-thread count,
+  which is what makes per-session snapshots small enough to journal at
+  scale ("A Finite Exact Representation of Register Automata
+  Configurations", arXiv:1402.6783, is the conceptual anchor).
+
+* **Write-ahead journal + periodic snapshots.**  Every ingested batch is
+  journaled *before* any state changes; durable per-session snapshots are
+  refreshed every ``REPRO_MONITOR_SNAPSHOT_EVERY`` events (and whenever
+  the journal exceeds ``REPRO_MONITOR_JOURNAL_CAP``).  Recovery restores
+  each session from its last durable snapshot and replays the journal
+  suffix -- deterministic, so the rebuilt fingerprints are byte-identical
+  to an uninterrupted run: zero lost, zero double-applied events.
+
+* **Pure shard workers.**  Sharded ingest fans out over the resilient
+  process pool (:mod:`repro.core.parallel`) with a *stateless* payload:
+  snapshots and events go in, snapshots and verdicts come out, and
+  durable state only advances on the driver.  The pool's crash recovery
+  resubmits whole chunks, which is safe exactly because the payload owns
+  nothing -- a re-run chunk recomputes the same snapshots.
+
+Per-session quarantine keeps one poison event from taking down its
+neighbours: the offending session is rolled back to its last good
+position, terminally marked with an honest ``DEGRADED``
+:class:`~repro.foundations.resilience.Outcome` (``CANCELLED`` for
+explicit cancellation, ``COMPLETE`` for a clean close), and recorded in
+the RS event log; every other session in the batch proceeds untouched.
+
+Fault sites (``docs/ROBUSTNESS.md``): ``monitor.ingest`` (per ingest
+call, driver side; ``crash`` simulates loss of all volatile session
+state after the batch is journaled, ``raise`` rejects the batch
+atomically before journaling), ``monitor.snapshot`` (per durable
+snapshot write; ``raise`` skips the write and keeps the journal tail,
+``crash`` as above), ``monitor.restore`` (per session during recovery;
+``raise`` quarantines just that session, ``crash`` restarts the --
+idempotent -- recovery pass).
+"""
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.core import parallel
+from repro.core.extended import ExtendedAutomaton
+from repro.core.streaming import StreamingChecker
+from repro.db.database import Database
+from repro.foundations.errors import SpecificationError
+from repro.foundations.faults import FaultInjected, fault
+from repro.foundations import knobs
+from repro.foundations.resilience import (
+    CancellationToken,
+    Deadline,
+    DeadlineExceeded,
+    OperationCancelled,
+    Outcome,
+    OutcomeStatus,
+    current_deadline,
+    deadline_scope,
+    record_event,
+)
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SessionSnapshot",
+    "IngestReport",
+    "MonitorMultiplexer",
+]
+
+#: Version tag carried by every snapshot; :meth:`SessionSnapshot.apply`
+#: refuses to restore a snapshot from a different layout generation.
+SNAPSHOT_VERSION = 1
+
+
+def _canonical_threads(
+    threads: List[Dict[object, set]],
+) -> Tuple[Tuple[Tuple[object, Tuple[Any, ...]], ...], ...]:
+    """The live-thread table in canonical (repr-sorted) tuple form.
+
+    Sorting both the DFA states and the stored values makes equal
+    checker states produce equal snapshots (and equal pickles), so
+    fingerprint comparisons across serial, sharded and recovered runs
+    are byte-level, never modulo set iteration order.
+    """
+    return tuple(
+        tuple(
+            sorted(
+                ((state, tuple(sorted(values, key=repr))) for state, values in per.items()),
+                key=lambda pair: repr(pair[0]),
+            )
+        )
+        for per in threads
+    )
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """A compact, picklable, version-tagged capture of a streaming session.
+
+    Records only *run* state -- the specification and database stay with
+    the checker, so snapshots are cheap to pickle across the process
+    pool and to retain in the multiplexer's durable store.  ``threads``
+    is stored canonically sorted; :meth:`apply` rebuilds the mutable
+    dict-of-sets form.
+    """
+
+    version: int
+    k: int
+    constraint_count: int
+    position: int
+    previous: Optional[Tuple[object, Tuple[Any, ...]]]
+    failed: Optional[str]
+    strict: bool
+    threads: Tuple[Tuple[Tuple[object, Tuple[Any, ...]], ...], ...]
+    peak_threads: int
+
+    @classmethod
+    def capture(cls, checker: StreamingChecker) -> "SessionSnapshot":
+        """Snapshot *checker* (the engine behind ``StreamingChecker.snapshot``)."""
+        return cls(
+            version=SNAPSHOT_VERSION,
+            k=checker._automaton.k,
+            constraint_count=len(checker._threads),
+            position=checker._position,
+            previous=checker._previous,
+            failed=checker._failed,
+            strict=checker._strict,
+            threads=_canonical_threads(checker._threads),
+            peak_threads=checker.peak_threads,
+        )
+
+    def apply(self, checker: StreamingChecker) -> None:
+        """Restore this snapshot into *checker* (``StreamingChecker.restore``)."""
+        if self.version != SNAPSHOT_VERSION:
+            raise SpecificationError(
+                "session snapshot version %r is not supported (expected %d)"
+                % (self.version, SNAPSHOT_VERSION)
+            )
+        if self.k != checker._automaton.k:
+            raise SpecificationError(
+                "session snapshot arity %d does not match the checker's "
+                "automaton (k=%d)" % (self.k, checker._automaton.k)
+            )
+        if self.constraint_count != len(checker._threads):
+            raise SpecificationError(
+                "session snapshot carries %d constraint thread tables, the "
+                "checker's specification has %d constraints"
+                % (self.constraint_count, len(checker._threads))
+            )
+        checker._strict = self.strict
+        checker._position = self.position
+        checker._previous = self.previous
+        checker._failed = self.failed
+        checker._threads = [
+            {state: set(values) for state, values in per} for per in self.threads
+        ]
+        checker.peak_threads = self.peak_threads
+
+    def fingerprint(self) -> Tuple[object, int, Optional[str], int]:
+        """``(state, position, failed, peak_threads)`` -- the identity tests compare."""
+        state = self.previous[0] if self.previous is not None else None
+        return (state, self.position, self.failed, self.peak_threads)
+
+
+# ---------------------------------------------------------------------- #
+# journal entries, shard tasks and the pure worker payload
+# ---------------------------------------------------------------------- #
+
+
+class JournalEntry(NamedTuple):
+    """One acked event: a global sequence number plus the event itself."""
+
+    seq: int
+    session: object
+    state: object
+    registers: Tuple[Any, ...]
+
+
+class _SessionTask(NamedTuple):
+    """Work shipped to a shard: where the session is, what to feed it."""
+
+    session: object
+    snapshot: SessionSnapshot
+    events: Tuple[JournalEntry, ...]
+
+
+class _SessionResult(NamedTuple):
+    """What applying a task produced (pure function of the task).
+
+    ``results`` holds ``(seq, verdict)`` for every applied event;
+    ``poison`` is ``(seq, error)`` when an event raised, in which case
+    ``snapshot`` is the session rolled back to its last good position;
+    ``interrupted`` marks a deadline/cancellation stop mid-task, with
+    the unapplied suffix left for journal replay.
+    """
+
+    session: object
+    snapshot: SessionSnapshot
+    results: Tuple[Tuple[int, Optional[str]], ...]
+    poison: Optional[Tuple[int, str]]
+    interrupted: bool
+
+
+def _apply_session(
+    extended: ExtendedAutomaton,
+    database: Database,
+    snapshot: SessionSnapshot,
+    events: Tuple[JournalEntry, ...],
+) -> _SessionResult:
+    """Apply *events* to the session *snapshot*; pure and deterministic.
+
+    This is the single application path -- serial ingest, sharded workers
+    and journal replay all come through here, which is what makes their
+    answers byte-identical by construction.  A poison event (any
+    unexpected exception from ``feed``) rolls the session back to the
+    state just before it, so quarantine freezes a meaningful position.
+    """
+    checker = StreamingChecker(extended, database, strict=False).restore(snapshot)
+    applied: List[Tuple[int, Optional[str]]] = []
+    poison: Optional[Tuple[int, str]] = None
+    interrupted = False
+    session = events[0].session if events else None
+    for offset, entry in enumerate(events):
+        active = current_deadline()
+        if active is not None and active.expired():
+            interrupted = True
+            break
+        try:
+            verdict = checker.feed(entry.state, entry.registers)
+        except (DeadlineExceeded, OperationCancelled):
+            interrupted = True
+            break
+        except Exception as exc:  # a poison event: quarantine material
+            poison = (entry.seq, "%s: %s" % (type(exc).__name__, exc))
+            # Roll back to the last good position: restore the input
+            # snapshot and replay the already-validated prefix.
+            checker = StreamingChecker(extended, database, strict=False).restore(
+                snapshot
+            )
+            for good in events[:offset]:  # deadline-ok: bounded replay of an already-validated prefix
+                checker.feed(good.state, good.registers)
+            break
+        applied.append((entry.seq, verdict))
+    return _SessionResult(
+        session=session,
+        snapshot=checker.snapshot(),
+        results=tuple(applied),
+        poison=poison,
+        interrupted=interrupted,
+    )
+
+
+class _ShardWorker:
+    """The process-pool payload: a stateless shard applier.
+
+    Holds only the immutable specification; every call is a pure
+    function from ``(snapshot, events)`` tasks to results, so the pool's
+    chunk resubmission after a worker crash recomputes identical answers
+    and durable state never advances off the driver.
+    """
+
+    __slots__ = ("_extended", "_database")
+
+    def __init__(self, extended: ExtendedAutomaton, database: Database):
+        self._extended = extended
+        self._database = database
+
+    def __call__(self, shard: Tuple[_SessionTask, ...]) -> Tuple[_SessionResult, ...]:
+        return tuple(
+            _apply_session(self._extended, self._database, task.snapshot, task.events)
+            for task in shard
+        )
+
+
+def _shard_of(session: object, shards: int) -> int:
+    """Deterministic shard assignment (never Python's salted ``hash``)."""
+    return zlib.crc32(repr(session).encode("utf-8")) % shards
+
+
+# ---------------------------------------------------------------------- #
+# the multiplexer
+# ---------------------------------------------------------------------- #
+
+
+class _VolatileCrash(Exception):
+    """Internal signal: the ``crash`` fault kind zapped volatile state."""
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one :meth:`MonitorMultiplexer.ingest` call did.
+
+    ``outcome`` is the batch-level verdict (``COMPLETE``, ``TIMEOUT`` or
+    ``CANCELLED`` -- per-session failures never degrade the batch);
+    ``violations`` maps each touched session that is in a failed state to
+    its (original) violation message; ``quarantined`` lists sessions
+    newly quarantined by this call; ``skipped`` counts events addressed
+    to already-terminal sessions, which are acked but not applied.
+    """
+
+    outcome: Outcome
+    applied: int
+    violations: Dict[object, str]
+    quarantined: Tuple[object, ...]
+    skipped: int
+
+
+class _Session:
+    """Volatile per-session record: current snapshot plus bookkeeping."""
+
+    __slots__ = ("snapshot", "applied_seq", "since_durable", "outcome")
+
+    def __init__(
+        self,
+        snapshot: SessionSnapshot,
+        applied_seq: int,
+        since_durable: int = 0,
+        outcome: Optional[Outcome] = None,
+    ):
+        self.snapshot = snapshot
+        self.applied_seq = applied_seq
+        self.since_durable = since_durable
+        self.outcome = outcome  # terminal sessions only
+
+
+class MonitorMultiplexer:
+    """Drive many concurrent streaming sessions, crash-safely.
+
+    Events arrive in batches tagged by session id
+    (``ingest([(session, state, registers), ...])``); sessions are
+    sharded by id over the resilient process pool when ``REPRO_WORKERS``
+    and ``REPRO_MONITOR_SHARDS`` allow, and applied serially otherwise --
+    byte-identically, because both paths share :func:`_apply_session`.
+
+    Durability model: the **durable** half (write-ahead journal, periodic
+    per-session snapshots, terminal-outcome ledger) survives a crash; the
+    **volatile** half (live session snapshots) is rebuilt from it by
+    :meth:`recover`, which the ``monitor.ingest:crash`` fault kind
+    exercises end to end.  Knobs: ``REPRO_MONITOR_SHARDS``,
+    ``REPRO_MONITOR_SNAPSHOT_EVERY``, ``REPRO_MONITOR_JOURNAL_CAP`` (all
+    call-time, all overridable per instance).
+    """
+
+    def __init__(
+        self,
+        extended: ExtendedAutomaton,
+        database: Database,
+        shards: Optional[int] = None,
+        snapshot_every: Optional[int] = None,
+        journal_cap: Optional[int] = None,
+    ):
+        self._extended = extended
+        self._database = database
+        self._shards = shards
+        self._snapshot_every = snapshot_every
+        self._journal_cap = journal_cap
+        self._worker = _ShardWorker(extended, database)
+        self._initial = StreamingChecker(extended, database, strict=False).snapshot()
+        # durable state: survives a (simulated) crash
+        self._store: Dict[object, Tuple[SessionSnapshot, int]] = {}
+        self._journal: List[JournalEntry] = []
+        self._ledger: Dict[object, Outcome] = {}
+        self._seq = 0
+        # volatile state: lost on crash, rebuilt by recover()
+        self._sessions: Dict[object, _Session] = {}
+        self._has_pending = False
+        # counters (diagnostic, not part of the identity contract)
+        self._events_applied = 0
+        self._recoveries = 0
+        self._snapshots_taken = 0
+
+    # -- knobs ---------------------------------------------------------- #
+
+    def _effective_shards(self) -> int:
+        if self._shards is not None:
+            return max(int(self._shards), 1)
+        configured = knobs.value("REPRO_MONITOR_SHARDS")
+        if configured > 0:
+            return configured
+        return parallel.worker_count()
+
+    def _effective_snapshot_every(self) -> int:
+        if self._snapshot_every is not None:
+            return max(int(self._snapshot_every), 1)
+        return knobs.value("REPRO_MONITOR_SNAPSHOT_EVERY")
+
+    def _effective_journal_cap(self) -> int:
+        if self._journal_cap is not None:
+            return max(int(self._journal_cap), 1)
+        return knobs.value("REPRO_MONITOR_JOURNAL_CAP")
+
+    # -- session lifecycle ---------------------------------------------- #
+
+    def open_session(self, session: object) -> None:
+        """Register a fresh session (it also opens implicitly on first event)."""
+        if session in self._store or session in self._ledger:
+            raise SpecificationError("session %r is already open" % (session,))
+        self._store[session] = (self._initial, self._seq)
+        self._sessions[session] = _Session(self._initial, self._seq)
+
+    def open_sessions(self, sessions: Iterable[object]) -> None:
+        for session in sessions:
+            self.open_session(session)
+
+    def close_session(self, session: object) -> Outcome:
+        """Finish a session cleanly; its state freezes and its outcome is honest."""
+        return self._terminate(session, "complete")
+
+    def cancel_session(self, session: object, reason: str = "") -> Outcome:
+        """Stop a session on external request (``CANCELLED`` taxonomy)."""
+        return self._terminate(session, "cancelled", reason=reason)
+
+    def _terminate(self, session: object, how: str, reason: str = "") -> Outcome:
+        existing = self._ledger.get(session)
+        if existing is not None:
+            return existing
+        record = self._sessions.get(session)
+        if record is None:
+            raise SpecificationError("session %r is not open" % (session,))
+        snapshot = record.snapshot
+        stats = {
+            "session": repr(session),
+            "position": snapshot.position,
+            "peak_threads": snapshot.peak_threads,
+            "failed": snapshot.failed,
+        }
+        if how == "cancelled":
+            if reason:
+                stats["reason"] = reason
+            outcome: Outcome = Outcome.cancelled(**stats)
+        else:
+            outcome = Outcome.complete(**stats)
+        self._ledger[session] = outcome
+        self._store[session] = (snapshot, record.applied_seq)
+        record.outcome = outcome
+        record.since_durable = 0
+        return outcome
+
+    def _quarantine(
+        self, session: object, snapshot: SessionSnapshot, seq: int, error: str
+    ) -> Outcome:
+        """Terminally fail one session (everyone else is unaffected)."""
+        outcome = Outcome.degraded(
+            session=repr(session),
+            reason="poison-event",
+            seq=seq,
+            error=error,
+            position=snapshot.position,
+            peak_threads=snapshot.peak_threads,
+        )
+        self._ledger[session] = outcome
+        self._store[session] = (snapshot, seq)
+        self._sessions[session] = _Session(snapshot, seq, outcome=outcome)
+        record_event(
+            "RS008",
+            "monitor session %r quarantined at seq %d: %s" % (session, seq, error),
+            location="monitor.ingest",
+            data={"session": repr(session), "seq": seq, "error": error},
+        )
+        return outcome
+
+    # -- introspection -------------------------------------------------- #
+
+    def session_ids(self) -> Tuple[object, ...]:
+        """Every known session id, repr-sorted (deterministic)."""
+        return tuple(sorted(self._store, key=repr))
+
+    def live_sessions(self) -> int:
+        """Sessions still accepting events (not terminal)."""
+        return sum(1 for session in self._store if session not in self._ledger)
+
+    def quarantined_sessions(self) -> Tuple[object, ...]:
+        """Sessions terminally failed by a poison event or a failed restore."""
+        return tuple(
+            session
+            for session in self.session_ids()
+            if self._ledger.get(session) is not None
+            and self._ledger[session].status is OutcomeStatus.DEGRADED
+        )
+
+    def session_outcome(self, session: object) -> Optional[Outcome]:
+        """The terminal outcome, or ``None`` while the session is live."""
+        return self._ledger.get(session)
+
+    def session_fingerprint(
+        self, session: object
+    ) -> Tuple[object, int, Optional[str], int]:
+        """``(state, position, failed, peak_threads)`` for one session."""
+        record = self._sessions.get(session)
+        if record is not None:
+            return record.snapshot.fingerprint()
+        stored = self._store.get(session)
+        if stored is None:
+            raise SpecificationError("session %r is not known" % (session,))
+        return stored[0].fingerprint()
+
+    def fingerprints(self) -> Dict[object, Tuple[object, int, Optional[str], int]]:
+        """All session fingerprints -- the crash-recovery identity witness."""
+        return {
+            session: self.session_fingerprint(session)
+            for session in self.session_ids()
+        }
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "sessions": len(self._store),
+            "live": self.live_sessions(),
+            "quarantined": len(self.quarantined_sessions()),
+            "events_applied": self._events_applied,
+            "journal_len": len(self._journal),
+            "snapshots_taken": self._snapshots_taken,
+            "recoveries": self._recoveries,
+        }
+
+    # -- ingest --------------------------------------------------------- #
+
+    def ingest(
+        self,
+        events: Iterable[Tuple[object, object, Tuple[Any, ...]]],
+        deadline=None,
+        cancel: Optional[CancellationToken] = None,
+    ) -> IngestReport:
+        """Apply one batch of ``(session, state, registers)`` events.
+
+        The batch is journaled before anything else changes (write-ahead),
+        so a crash at any later point replays it exactly once.  Unknown
+        session ids open implicitly.  A ``raise`` fault at
+        ``monitor.ingest`` rejects the whole batch atomically *before*
+        journaling; a ``crash`` fault fires after journaling and is
+        recovered from in-line.
+        """
+        batch = [
+            (session, state, tuple(registers)) for session, state, registers in events
+        ]
+        resolved = Deadline.resolve(deadline)
+        kind = fault("monitor.ingest")
+        if kind in ("raise", "exception"):
+            raise FaultInjected(
+                "injected failure at monitor.ingest: batch of %d rejected "
+                "atomically (nothing journaled, nothing applied)" % len(batch)
+            )
+        if self._has_pending:
+            # A previous ingest stopped early (deadline or cancellation)
+            # with journaled events unapplied; drain them first so every
+            # session sees its events in journal order, exactly once.
+            self._replay(self._seq + 1, {}, [])
+            self._has_pending = False
+        for session, _state, _registers in batch:
+            if session not in self._store and session not in self._ledger:
+                self.open_session(session)
+        entries: List[JournalEntry] = []
+        for session, state, registers in batch:
+            self._seq += 1
+            entries.append(JournalEntry(self._seq, session, state, registers))
+        self._journal.extend(entries)
+        first_seq = entries[0].seq if entries else self._seq + 1
+
+        applied = 0
+        violations: Dict[object, str] = {}
+        newly_quarantined: List[object] = []
+        skipped = 0
+        status = "complete"
+        try:
+            if kind == "crash":
+                raise _VolatileCrash("injected crash at monitor.ingest")
+            with deadline_scope(resolved):
+                applied, skipped, status = self._apply_entries(
+                    entries, cancel, violations, newly_quarantined
+                )
+        except _VolatileCrash:
+            # All volatile session state is gone; the journal and the
+            # durable snapshots are not.  Recover in-line and account the
+            # just-journaled batch through the replay results.
+            applied, skipped = self._crash_recover(
+                first_seq, violations, newly_quarantined
+            )
+        if status in ("timeout", "cancelled"):
+            self._has_pending = True
+        self._refresh_durable(entries)
+        stats = self.stats()
+        stats["batch"] = len(entries)
+        if status == "timeout":
+            outcome = Outcome.timeout(**stats)
+        elif status == "cancelled":
+            outcome = Outcome.cancelled(**stats)
+        else:
+            outcome = Outcome.complete(**stats)
+        return IngestReport(
+            outcome=outcome,
+            applied=applied,
+            violations=violations,
+            quarantined=tuple(newly_quarantined),
+            skipped=skipped,
+        )
+
+    def _apply_entries(
+        self,
+        entries: List[JournalEntry],
+        cancel: Optional[CancellationToken],
+        violations: Dict[object, str],
+        newly_quarantined: List[object],
+    ) -> Tuple[int, int, str]:
+        """Apply journaled *entries* to the live sessions; the normal path."""
+        per_session: Dict[object, List[JournalEntry]] = {}
+        order: List[object] = []
+        skipped = 0
+        for entry in entries:
+            if entry.session in self._ledger:
+                skipped += 1  # terminal session: acked, never applied
+                continue
+            if entry.session not in per_session:
+                per_session[entry.session] = []
+                order.append(entry.session)
+            per_session[entry.session].append(entry)
+        tasks = [
+            _SessionTask(
+                session, self._sessions[session].snapshot, tuple(per_session[session])
+            )
+            for session in order
+        ]
+        shard_count = self._effective_shards()
+        workers = parallel.worker_count()
+        results: List[_SessionResult] = []
+        status = "complete"
+        if workers <= 1 or shard_count <= 1 or len(tasks) <= 1:
+            for task in tasks:
+                try:
+                    if cancel is not None:
+                        cancel.check("monitor.ingest")
+                    active = current_deadline()
+                    if active is not None:
+                        active.check("monitor.ingest")
+                except DeadlineExceeded:
+                    status = "timeout"
+                    break
+                except OperationCancelled:
+                    status = "cancelled"
+                    break
+                result = _apply_session(
+                    self._extended, self._database, task.snapshot, task.events
+                )
+                results.append(result)
+                if result.interrupted:
+                    status = "timeout"
+                    break
+        else:
+            # Workers cannot observe the driver's ambient deadline scope,
+            # so the sharded path polls on the driver with whole-batch
+            # granularity: an expiry or cancellation seen *before*
+            # dispatch applies nothing (the journaled events stay pending
+            # and the next ingest drains them), matching the serial
+            # path's "stop between sessions, never mid-event" contract.
+            try:
+                if cancel is not None:
+                    cancel.check("monitor.ingest")
+                active = current_deadline()
+                if active is not None:
+                    active.check("monitor.ingest")
+            except DeadlineExceeded:
+                return 0, skipped, "timeout"
+            except OperationCancelled:
+                return 0, skipped, "cancelled"
+            shards: Dict[int, List[_SessionTask]] = {}
+            for task in tasks:
+                shards.setdefault(_shard_of(task.session, shard_count), []).append(task)
+            items = [tuple(shards[index]) for index in sorted(shards)]
+            for shard_result in parallel.parallel_map(
+                self._worker, items, chunk_size=1
+            ):
+                results.extend(shard_result)
+        applied = self._merge_results(results, violations, newly_quarantined)
+        return applied, skipped, status
+
+    def _merge_results(
+        self,
+        results: List[_SessionResult],
+        violations: Dict[object, str],
+        newly_quarantined: List[object],
+    ) -> int:
+        """Advance volatile session state from application *results*."""
+        applied = 0
+        for result in results:
+            session = result.session
+            if session is None:
+                continue
+            record = self._sessions[session]
+            record.snapshot = result.snapshot
+            if result.results:
+                record.applied_seq = result.results[-1][0]
+                record.since_durable += len(result.results)
+                applied += len(result.results)
+                self._events_applied += len(result.results)
+            if result.snapshot.failed is not None:
+                violations[session] = result.snapshot.failed
+            if result.poison is not None:
+                seq, error = result.poison
+                self._quarantine(session, result.snapshot, seq, error)
+                newly_quarantined.append(session)
+        return applied
+
+    # -- durability: snapshots, truncation, recovery -------------------- #
+
+    def _snapshot_session(self, session: object) -> bool:
+        """Refresh one session's durable snapshot; honest about failure."""
+        record = self._sessions[session]
+        kind = fault("monitor.snapshot")
+        if kind in ("raise", "exception"):
+            record_event(
+                "RS009",
+                "durable snapshot of monitor session %r skipped (injected "
+                "failure); the journal retains its tail" % (session,),
+                location="monitor.snapshot",
+                data={"session": repr(session), "applied_seq": record.applied_seq},
+            )
+            return False
+        if kind == "crash":
+            raise _VolatileCrash("injected crash at monitor.snapshot")
+        self._store[session] = (record.snapshot, record.applied_seq)
+        record.since_durable = 0
+        self._snapshots_taken += 1
+        return True
+
+    def _refresh_durable(self, entries: List[JournalEntry]) -> None:
+        """Periodic snapshots, then journal truncation and cap enforcement."""
+        snapshot_every = self._effective_snapshot_every()
+        touched: List[object] = []
+        for entry in entries:
+            if entry.session not in touched:
+                touched.append(entry.session)
+        try:
+            for session in touched:
+                record = self._sessions.get(session)
+                if record is None or record.outcome is not None:
+                    continue
+                if record.since_durable >= snapshot_every:
+                    self._snapshot_session(session)
+            self._truncate_journal()
+            cap = self._effective_journal_cap()
+            if len(self._journal) > cap:
+                # Cap pressure: snapshot every lagging live session so the
+                # prefix floor advances, then truncate again.  Best-effort
+                # under injected snapshot faults -- the journal simply
+                # stays longer, correctness is unaffected.
+                for session in self.session_ids():
+                    record = self._sessions.get(session)
+                    if (
+                        record is not None
+                        and record.outcome is None
+                        and record.since_durable > 0
+                    ):
+                        self._snapshot_session(session)
+                self._truncate_journal()
+        except _VolatileCrash:
+            self._crash_recover(self._seq + 1, {}, [])
+
+    def _truncate_journal(self) -> None:
+        """Drop every entry already covered by its session's durable state.
+
+        An entry is replayable only while its session is live and its
+        sequence number is beyond the session's durable snapshot; both
+        terminal sessions (ledger) and snapshotted prefixes are covered,
+        so their entries can never be needed again.
+        """
+
+        def needed(entry: JournalEntry) -> bool:
+            if entry.session in self._ledger:
+                return False
+            stored = self._store.get(entry.session)
+            return stored is None or entry.seq > stored[1]
+
+        if not all(needed(entry) for entry in self._journal):
+            self._journal = [entry for entry in self._journal if needed(entry)]
+
+    def _crash_recover(
+        self,
+        collect_since: int,
+        violations: Dict[object, str],
+        newly_quarantined: List[object],
+    ) -> Tuple[int, int]:
+        """Drop all volatile state, then rebuild it from the durable half."""
+        self._sessions = {}
+        self._has_pending = False  # replay drains every journaled event
+        return self._replay(collect_since, violations, newly_quarantined)
+
+    def recover(self) -> int:
+        """Rebuild volatile session state from snapshots + journal replay.
+
+        Idempotent and safe to call at any time: a no-op when nothing is
+        pending, the crash-recovery path otherwise.  Returns the number
+        of sessions (re)built.  Also drains journaled events a timed-out
+        or cancelled ingest left unapplied.
+        """
+        self._replay(self._seq + 1, {}, [])
+        self._has_pending = False
+        return len(self._sessions)
+
+    def _replay(
+        self,
+        collect_since: int,
+        violations: Dict[object, str],
+        newly_quarantined: List[object],
+    ) -> Tuple[int, int]:
+        """Restore every session from durable state; deterministic replay."""
+        applied = 0
+        restarts = 0
+        while True:
+            rebuilt: Dict[object, _Session] = {}
+            results: List[_SessionResult] = []
+            replayed = 0
+            restarted = False
+            for session in self.session_ids():
+                outcome = self._ledger.get(session)
+                snapshot, stored_seq = self._store[session]
+                if outcome is not None:
+                    rebuilt[session] = _Session(snapshot, stored_seq, outcome=outcome)
+                    continue
+                kind = fault("monitor.restore")
+                if kind == "crash" and restarts < 3:
+                    restarted = True
+                    restarts += 1
+                    break
+                if kind in ("raise", "exception"):
+                    failed = Outcome.degraded(
+                        session=repr(session),
+                        reason="restore-failed",
+                        seq=stored_seq,
+                        error="injected failure at monitor.restore",
+                        position=snapshot.position,
+                        peak_threads=snapshot.peak_threads,
+                    )
+                    self._ledger[session] = failed
+                    rebuilt[session] = _Session(snapshot, stored_seq, outcome=failed)
+                    newly_quarantined.append(session)
+                    record_event(
+                        "RS008",
+                        "monitor session %r quarantined: restore failed"
+                        % (session,),
+                        location="monitor.restore",
+                        data={"session": repr(session), "seq": stored_seq},
+                    )
+                    continue
+                tail = tuple(
+                    entry
+                    for entry in self._journal
+                    if entry.session == session and entry.seq > stored_seq
+                )
+                result = _apply_session(self._extended, self._database, snapshot, tail)
+                replayed += len(result.results)
+                record = _Session(result.snapshot, stored_seq)
+                if result.results:
+                    record.applied_seq = result.results[-1][0]
+                    record.since_durable = len(result.results)
+                rebuilt[session] = record
+                results.append(result)
+            if restarted:
+                continue
+            self._sessions = rebuilt
+            for result in results:
+                session = result.session
+                if session is None:
+                    continue
+                fresh = [
+                    (seq, verdict)
+                    for seq, verdict in result.results
+                    if seq >= collect_since
+                ]
+                applied += len(fresh)
+                self._events_applied += len(fresh)
+                if result.snapshot.failed is not None and fresh:
+                    violations[session] = result.snapshot.failed
+                if result.poison is not None:
+                    seq, error = result.poison
+                    self._quarantine(session, result.snapshot, seq, error)
+                    newly_quarantined.append(session)
+            self._recoveries += 1
+            record_event(
+                "RS007",
+                "monitor recovered %d sessions from durable snapshots + "
+                "journal replay (%d events replayed)"
+                % (len(rebuilt), replayed),
+                location="monitor.recover",
+                data={"sessions": len(rebuilt), "replayed": replayed},
+            )
+            return applied, 0

@@ -108,6 +108,34 @@ class StreamingChecker:
             raise StreamingViolation(message)
         return message
 
+    def snapshot(self) -> "SessionSnapshot":
+        """A compact, picklable capture of this checker's run state.
+
+        The snapshot records everything :meth:`feed` depends on --
+        position, last (state, registers) pair, failed status, strictness
+        and the live constraint threads -- but *not* the specification or
+        database, so it stays small (Theorem 19's register discipline
+        bounds the thread count) and cheap to journal.  Restoring it into
+        a checker built over the same specification resumes the run
+        byte-identically to an uninterrupted feed.
+        """
+        from repro.core.monitor import SessionSnapshot
+
+        return SessionSnapshot.capture(self)
+
+    def restore(self, snapshot: "SessionSnapshot") -> "StreamingChecker":
+        """Adopt *snapshot*'s run state; returns ``self`` for chaining.
+
+        The snapshot must come from a checker over a specification with
+        the same register arity and constraint count (a
+        :class:`~repro.foundations.errors.SpecificationError` otherwise).
+        Strictness travels with the snapshot: a failed non-strict session
+        restored into a default (strict) checker keeps *returning* the
+        original message instead of suddenly raising.
+        """
+        snapshot.apply(self)
+        return self
+
     def feed(self, state: State, registers: Tuple[DataValue, ...]) -> Optional[str]:
         """Consume the next run position.
 
@@ -115,7 +143,15 @@ class StreamingChecker:
         otherwise (or raises it, in strict mode).
         """
         if self._failed is not None:
-            return self._fail(self._failed)
+            # Stay failed, reporting the *original* message verbatim on
+            # every further feed -- without re-entering _fail, whose
+            # re-assignment path is for first failures only.  Restored
+            # snapshots rely on this: a post-violation snapshot resumes
+            # into a checker that keeps answering exactly as the
+            # uninterrupted one would.
+            if self._strict:
+                raise StreamingViolation(self._failed)
+            return self._failed
         registers = tuple(registers)
         if len(registers) != self._automaton.k:
             return self._fail(

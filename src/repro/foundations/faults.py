@@ -17,7 +17,14 @@ Syntax
 * ``site`` names the injection point (see docs/ROBUSTNESS.md for the
   table).  Current sites: ``parallel.call_chunk`` (inside the worker
   process, per chunk), ``parallel.spawn`` (executor creation),
-  ``emptiness.lasso`` (the candidate-lasso loop of ``check_emptiness``).
+  ``emptiness.lasso`` (the candidate-lasso loop of ``check_emptiness``),
+  and the monitor-multiplexer sites ``monitor.ingest`` (per ingest call,
+  driver side: ``crash`` zaps volatile session state after the batch is
+  journaled, ``raise`` rejects the batch atomically), ``monitor.snapshot``
+  (per durable snapshot write: ``raise`` skips it, ``crash`` as above)
+  and ``monitor.restore`` (per session during recovery: ``raise``
+  quarantines that one session, ``crash`` restarts the idempotent
+  recovery pass).
 * ``kind`` is what happens: ``exit`` (hard ``os._exit`` -- simulates a
   worker crash / OOM kill), ``raise`` (raises :class:`FaultInjected`),
   ``deadline`` (raises

@@ -170,6 +170,43 @@ def parse_stripped(raw: Optional[str]) -> str:
     return (raw or "").strip()
 
 
+def parse_shard_count(raw: Optional[str]) -> int:
+    """``REPRO_MONITOR_SHARDS``: ``0`` (auto) for unset/junk/negative, capped at 256."""
+    text = (raw or "").strip()
+    if not text:
+        return 0
+    try:
+        requested = int(text)
+    except ValueError:
+        return 0
+    if requested < 0:
+        return 0
+    return min(requested, 256)
+
+
+def _parse_bounded_int(raw: Optional[str], default: int, cap: int) -> int:
+    text = (raw or "").strip()
+    if not text:
+        return default
+    try:
+        requested = int(text)
+    except ValueError:
+        return default
+    if requested < 1:
+        return default
+    return min(requested, cap)
+
+
+def parse_snapshot_every(raw: Optional[str]) -> int:
+    """``REPRO_MONITOR_SNAPSHOT_EVERY``: default 32, at least 1, capped at 1e6."""
+    return _parse_bounded_int(raw, 32, 1_000_000)
+
+
+def parse_journal_cap(raw: Optional[str]) -> int:
+    """``REPRO_MONITOR_JOURNAL_CAP``: default 1024, at least 1, capped at 1e7."""
+    return _parse_bounded_int(raw, 1024, 10_000_000)
+
+
 # ---------------------------------------------------------------------- #
 # the registry
 # ---------------------------------------------------------------------- #
@@ -382,6 +419,48 @@ register_knob(
             "(`docs/PERFORMANCE.md`, \"Symbolic normalisation kernel\").  "
             "`0` takes the legacy literal path -- the ablation baseline; "
             "answers are byte-identical either way."
+        ),
+    )
+)
+
+register_knob(
+    Knob(
+        name="REPRO_MONITOR_SHARDS",
+        default="`0` (auto: one shard per worker)",
+        parse=parse_shard_count,
+        doc=(
+            "Shard count for `MonitorMultiplexer` session fan-out "
+            "(`repro.core.monitor`).  `0`/unset/junk mean auto "
+            "(`REPRO_WORKERS`); capped at 256.  Sharded and serial ingest "
+            "are byte-identical."
+        ),
+    )
+)
+
+register_knob(
+    Knob(
+        name="REPRO_MONITOR_SNAPSHOT_EVERY",
+        default="`32`",
+        parse=parse_snapshot_every,
+        doc=(
+            "Events a monitor session absorbs between durable snapshots "
+            "(`docs/ROBUSTNESS.md`, \"Session snapshots\").  Smaller means "
+            "shorter journal replays after a crash; results are identical "
+            "for any value."
+        ),
+    )
+)
+
+register_knob(
+    Knob(
+        name="REPRO_MONITOR_JOURNAL_CAP",
+        default="`1024`",
+        parse=parse_journal_cap,
+        doc=(
+            "Write-ahead journal length that triggers snapshot-all + "
+            "truncation in `MonitorMultiplexer` (best effort under "
+            "injected snapshot faults).  Results are identical for any "
+            "value."
         ),
     )
 )

@@ -28,7 +28,7 @@ every long-running procedure in the library:
 
 Recovery paths (pool respawns, serial fallbacks, expired deadlines)
 additionally record structured :class:`~repro.foundations.diagnostics.Diagnostic`
-events (codes ``RS001``-``RS005``, see docs/ROBUSTNESS.md) in a bounded
+events (codes ``RS001``-``RS009``, see docs/ROBUSTNESS.md) in a bounded
 in-process log, so tests and operators can observe *that* degradation
 happened without parsing log text.
 
@@ -429,7 +429,7 @@ def record_event(
     location: str = "",
     data: Optional[dict] = None,
 ) -> Diagnostic:
-    """Record one structured resilience event (codes ``RS001``-``RS005``).
+    """Record one structured resilience event (codes ``RS001``-``RS009``).
 
     Returns the recorded :class:`Diagnostic` so call sites can also
     attach it to an :class:`Outcome` or a report.

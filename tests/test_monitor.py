@@ -1,0 +1,628 @@
+"""Tests for the crash-surviving monitor multiplexer (`repro.core.monitor`).
+
+The load-bearing contract: for every fault scenario the harness can
+inject (worker crash mid-ingest, driver volatile-state loss, failed
+snapshots, failed restores, poison events), the per-session final
+``(state, position, failed, peak_threads)`` fingerprints are
+byte-identical to the fault-free serial run -- zero lost and zero
+double-applied events.  Several tests deliberately tolerate an *ambient*
+``REPRO_FAULTS`` plan (the CI fault-smoke leg runs this file under
+injected crashes); tests that assert exact counters pin the plan
+themselves.
+"""
+
+import pickle
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Database,
+    ExtendedAutomaton,
+    GlobalConstraint,
+    RegisterAutomaton,
+    SigmaType,
+    Signature,
+)
+from repro.automata.regex import concat, literal, plus
+from repro.core.monitor import (
+    SNAPSHOT_VERSION,
+    MonitorMultiplexer,
+    SessionSnapshot,
+)
+from repro.core.parallel import shutdown_executor
+from repro.core.runs import FiniteRun
+from repro.core.streaming import StreamingChecker
+from repro.foundations import knobs
+from repro.foundations.errors import SpecificationError
+from repro.foundations.faults import FaultInjected, reset_faults
+from repro.foundations.resilience import (
+    CancellationToken,
+    OutcomeStatus,
+    drain_events,
+    recent_events,
+)
+
+EMPTY = SigmaType()
+
+
+def distinct_extended() -> ExtendedAutomaton:
+    """One register, one state, all values pairwise distinct (Example 7)."""
+    base = RegisterAutomaton(
+        1, Signature.empty(), {"q"}, {"q"}, {"q"}, [("q", EMPTY, "q")]
+    )
+    all_distinct = concat(literal("q"), plus(literal("q")))
+    return ExtendedAutomaton(base, [GlobalConstraint("neq", 1, 1, all_distinct)])
+
+
+@pytest.fixture
+def extended():
+    return distinct_extended()
+
+
+@pytest.fixture
+def db(empty_database):
+    return empty_database
+
+
+@pytest.fixture
+def no_faults(monkeypatch):
+    """Pin an empty fault plan (for tests asserting exact counters)."""
+    monkeypatch.setenv("REPRO_FAULTS", "")
+    reset_faults()
+    yield
+    reset_faults()
+
+
+def random_batches(seed=7, sessions=24, batches=8, batch_size=60, values=5):
+    """A deterministic stream of (session, state, registers) batches."""
+    rng = random.Random(seed)
+    ids = ["s%03d" % index for index in range(sessions)]
+    out = []
+    for _ in range(batches):
+        out.append(
+            [
+                (rng.choice(ids), "q", ("v%d" % rng.randrange(values),))
+                for _ in range(batch_size)
+            ]
+        )
+    return out
+
+
+def oracle_fingerprints(extended, db, batches):
+    """Per-session fingerprints from independent, uninterrupted checkers."""
+    per_session = {}
+    for batch in batches:
+        for session, state, registers in batch:
+            per_session.setdefault(session, []).append((state, registers))
+    fingerprints = {}
+    for session, events in per_session.items():
+        checker = StreamingChecker(extended, db, strict=False)
+        for state, registers in events:
+            checker.feed(state, registers)
+        state = checker._previous[0] if checker._previous else None
+        fingerprints[session] = (
+            state,
+            checker.position,
+            checker.failed,
+            checker.peak_threads,
+        )
+    return fingerprints
+
+
+def drive(mux, batches):
+    for batch in batches:
+        mux.ingest(batch)
+    return mux
+
+
+# ---------------------------------------------------------------------- #
+# SessionSnapshot: round trips, guards, canonical form
+# ---------------------------------------------------------------------- #
+
+
+class TestSessionSnapshot:
+    def test_round_trip_at_every_cut(self, extended, db):
+        events = [("q", ("a",)), ("q", ("b",)), ("q", ("c",)), ("q", ("b",))]
+        reference = StreamingChecker(extended, db, strict=False)
+        expected = [reference.feed(s, r) for s, r in events]
+        for cut in range(len(events) + 1):
+            checker = StreamingChecker(extended, db, strict=False)
+            outputs = [checker.feed(s, r) for s, r in events[:cut]]
+            blob = pickle.dumps(checker.snapshot())
+            resumed = StreamingChecker(extended, db, strict=False).restore(
+                pickle.loads(blob)
+            )
+            outputs += [resumed.feed(s, r) for s, r in events[cut:]]
+            assert outputs == expected
+            assert resumed.position == reference.position
+            assert resumed.peak_threads == reference.peak_threads
+            assert resumed.failed == reference.failed
+
+    def test_pickle_is_byte_stable(self, extended, db):
+        def state_after(events):
+            checker = StreamingChecker(extended, db, strict=False)
+            for s, r in events:
+                checker.feed(s, r)
+            return pickle.dumps(checker.snapshot())
+
+        events = [("q", ("a",)), ("q", ("b",)), ("q", ("a",))]
+        assert state_after(events) == state_after(events)
+
+    def test_version_tag_guard(self, extended, db):
+        snap = StreamingChecker(extended, db).snapshot()
+        assert snap.version == SNAPSHOT_VERSION
+        import dataclasses
+
+        stale = dataclasses.replace(snap, version=SNAPSHOT_VERSION + 1)
+        with pytest.raises(SpecificationError):
+            StreamingChecker(extended, db).restore(stale)
+
+    def test_arity_and_constraint_guards(self, extended, db):
+        snap = StreamingChecker(extended, db).snapshot()
+        two_registers = ExtendedAutomaton(
+            RegisterAutomaton(
+                2, Signature.empty(), {"q"}, {"q"}, {"q"}, [("q", EMPTY, "q")]
+            ),
+            [],
+        )
+        with pytest.raises(SpecificationError):
+            StreamingChecker(two_registers, db).restore(snap)
+        no_constraints = ExtendedAutomaton(extended.automaton, [])
+        with pytest.raises(SpecificationError):
+            StreamingChecker(no_constraints, db).restore(snap)
+
+    def test_restored_failed_checker_stays_failed(self, extended, db):
+        # Regression: a snapshot taken after a non-strict violation must
+        # resume failed -- returning the *original* message -- even when
+        # restored into a checker constructed with the strict default.
+        checker = StreamingChecker(extended, db, strict=False)
+        checker.feed("q", ("a",))
+        checker.feed("q", ("b",))
+        message = checker.feed("q", ("a",))
+        assert message is not None
+        blob = pickle.dumps(checker.snapshot())
+        restored = StreamingChecker(extended, db).restore(pickle.loads(blob))
+        for _ in range(3):
+            assert restored.feed("q", ("z",)) == message
+        assert restored.failed == message
+        assert restored.position == checker.position
+
+
+class TestSnapshotRoundTripProperty:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        values=st.lists(
+            st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=12
+        ),
+        data=st.data(),
+    )
+    def test_resume_matches_uninterrupted_feed_run(self, values, data):
+        # For a random run and a random snapshot point: snapshot ->
+        # pickle -> restore -> resume gives verdicts, violation messages
+        # and peak_threads identical to one uninterrupted feed_run.
+        extended = distinct_extended()
+        db = Database(Signature.empty())
+        cut = data.draw(st.integers(min_value=0, max_value=len(values)))
+        run = FiniteRun(
+            data=tuple((value,) for value in values),
+            states=tuple("q" for _ in values),
+            guards=tuple(EMPTY for _ in values[1:]),
+        )
+        reference = StreamingChecker(extended, db, strict=False)
+        expected = reference.feed_run(run)
+
+        checker = StreamingChecker(extended, db, strict=False)
+        resumed_message = None
+        for value in values[:cut]:
+            resumed_message = checker.feed("q", (value,))
+            if resumed_message is not None:
+                break
+        if resumed_message is None:
+            checker = StreamingChecker(extended, db, strict=False).restore(
+                pickle.loads(pickle.dumps(checker.snapshot()))
+            )
+            for value in values[cut:]:
+                resumed_message = checker.feed("q", (value,))
+                if resumed_message is not None:
+                    break
+        assert resumed_message == expected
+        assert checker.failed == reference.failed
+        assert checker.peak_threads == reference.peak_threads
+        assert checker.position == reference.position
+
+
+# ---------------------------------------------------------------------- #
+# MonitorMultiplexer: basics
+# ---------------------------------------------------------------------- #
+
+
+class TestMultiplexerBasics:
+    def test_matches_independent_checkers(self, extended, db):
+        batches = random_batches()
+        mux = drive(MonitorMultiplexer(extended, db), batches)
+        assert mux.fingerprints() == oracle_fingerprints(extended, db, batches)
+
+    def test_violations_reported_per_session(self, extended, db):
+        mux = MonitorMultiplexer(extended, db)
+        report = mux.ingest(
+            [("a", "q", ("v1",)), ("a", "q", ("v1",)), ("b", "q", ("v1",))]
+        )
+        assert "a" in report.violations
+        assert "inequality" in report.violations["a"]
+        assert "b" not in report.violations
+        # the failed session keeps answering with the original message
+        again = mux.ingest([("a", "q", ("v9",))])
+        assert again.violations["a"] == report.violations["a"]
+
+    def test_duplicate_open_raises(self, extended, db):
+        mux = MonitorMultiplexer(extended, db)
+        mux.open_session("a")
+        with pytest.raises(SpecificationError):
+            mux.open_session("a")
+
+    def test_close_and_cancel_taxonomy(self, extended, db):
+        mux = MonitorMultiplexer(extended, db)
+        mux.ingest([("a", "q", ("v1",)), ("b", "q", ("v1",))])
+        closed = mux.close_session("a")
+        assert closed.status is OutcomeStatus.COMPLETE
+        assert closed.stats["position"] == 0
+        cancelled = mux.cancel_session("b", "operator stop")
+        assert cancelled.status is OutcomeStatus.CANCELLED
+        assert cancelled.stats["reason"] == "operator stop"
+        # terminal sessions ack but never apply further events
+        report = mux.ingest([("a", "q", ("v2",)), ("b", "q", ("v2",))])
+        assert report.skipped == 2 and report.applied == 0
+        assert mux.session_fingerprint("a")[1] == 0
+        assert mux.live_sessions() == 0
+
+    def test_journal_stays_bounded(self, extended, db, no_faults):
+        mux = MonitorMultiplexer(extended, db, journal_cap=8, snapshot_every=1000)
+        batches = random_batches(sessions=6, batches=10, batch_size=12)
+        for batch in batches:
+            mux.ingest(batch)
+            assert mux.stats()["journal_len"] <= 8 + len(batch)
+        assert mux.fingerprints() == oracle_fingerprints(extended, db, batches)
+
+
+# ---------------------------------------------------------------------- #
+# sharded ingest parity (REPRO_WORKERS=2)
+# ---------------------------------------------------------------------- #
+
+
+class TestShardedParity:
+    def test_workers_2_fingerprints_identical(self, extended, db, monkeypatch):
+        batches = random_batches()
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        serial = drive(MonitorMultiplexer(extended, db), batches).fingerprints()
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        try:
+            sharded = drive(
+                MonitorMultiplexer(extended, db, shards=4), batches
+            ).fingerprints()
+        finally:
+            shutdown_executor()
+        assert sharded == serial
+
+    def test_shards_knob_drives_fanout(self, extended, db, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        batches = random_batches(batches=3)
+        serial = drive(MonitorMultiplexer(extended, db), batches).fingerprints()
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_MONITOR_SHARDS", "3")
+        try:
+            sharded = drive(MonitorMultiplexer(extended, db), batches).fingerprints()
+        finally:
+            shutdown_executor()
+        assert sharded == serial
+
+
+# ---------------------------------------------------------------------- #
+# crash recovery: zero lost, zero double-applied
+# ---------------------------------------------------------------------- #
+
+
+class TestCrashRecovery:
+    def test_driver_crash_mid_ingest_recovers_identically(
+        self, extended, db, monkeypatch
+    ):
+        batches = random_batches()
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        baseline = drive(MonitorMultiplexer(extended, db), batches)
+        total = sum(len(batch) for batch in batches)
+        assert baseline.stats()["events_applied"] == total
+        drain_events()
+        monkeypatch.setenv("REPRO_FAULTS", "monitor.ingest:crash:3")
+        reset_faults()
+        crashed = drive(MonitorMultiplexer(extended, db), batches)
+        reset_faults()
+        assert crashed.fingerprints() == baseline.fingerprints()
+        # no lost and no double-applied events
+        assert crashed.stats()["events_applied"] == total
+        assert crashed.stats()["recoveries"] == 1
+        assert len(recent_events("RS007")) == 1
+        drain_events()
+
+    def test_worker_crash_mid_sharded_ingest(self, extended, db, monkeypatch):
+        batches = random_batches()
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        baseline = drive(MonitorMultiplexer(extended, db), batches).fingerprints()
+        # Acceptance scenario: a worker crash (parallel.call_chunk:exit)
+        # during sharded ingest AND a driver volatile-state crash, in one
+        # plan -- the pool respawns + resubmits, the journal replays, and
+        # the final fingerprints match the fault-free serial run.
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_POOL_BACKOFF_MS", "0")
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "monitor.ingest:crash:1,parallel.call_chunk:exit:1"
+        )
+        reset_faults()
+        try:
+            crashed = drive(
+                MonitorMultiplexer(extended, db, shards=4), batches
+            ).fingerprints()
+        finally:
+            shutdown_executor()
+            reset_faults()
+        assert crashed == baseline
+
+    def test_explicit_recover_is_idempotent(self, extended, db, no_faults):
+        batches = random_batches(batches=3)
+        mux = drive(MonitorMultiplexer(extended, db), batches)
+        before = mux.fingerprints()
+        assert mux.recover() == mux.stats()["sessions"]
+        assert mux.recover() == mux.stats()["sessions"]
+        assert mux.fingerprints() == before
+
+    def test_snapshot_faults_leave_recovery_exact(self, extended, db, monkeypatch):
+        batches = random_batches()
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        baseline = drive(MonitorMultiplexer(extended, db), batches).fingerprints()
+        drain_events()
+        # Every early durable-snapshot write fails; the journal keeps the
+        # tail, so a later crash still recovers byte-identically.
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "monitor.snapshot:raise:1-4,monitor.ingest:crash:5"
+        )
+        reset_faults()
+        crashed = drive(
+            MonitorMultiplexer(extended, db, snapshot_every=4), batches
+        ).fingerprints()
+        reset_faults()
+        assert crashed == baseline
+        assert len(recent_events("RS009")) == 4
+        drain_events()
+
+    def test_restore_crash_restarts_recovery(self, extended, db, monkeypatch):
+        batches = random_batches()
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        baseline = drive(MonitorMultiplexer(extended, db), batches).fingerprints()
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "monitor.restore:crash:1,monitor.ingest:crash:1"
+        )
+        reset_faults()
+        crashed = drive(MonitorMultiplexer(extended, db), batches).fingerprints()
+        reset_faults()
+        assert crashed == baseline
+
+    def test_atomic_batch_reject(self, extended, db, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        mux = MonitorMultiplexer(extended, db)
+        mux.ingest([("a", "q", ("v1",))])
+        before = (mux.fingerprints(), mux.stats()["journal_len"])
+        monkeypatch.setenv("REPRO_FAULTS", "monitor.ingest:raise:1")
+        reset_faults()
+        with pytest.raises(FaultInjected):
+            mux.ingest([("a", "q", ("v2",)), ("b", "q", ("v1",))])
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        # nothing journaled, nothing applied, no session opened
+        assert (mux.fingerprints(), mux.stats()["journal_len"]) == before
+        assert mux.stats()["sessions"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# per-session quarantine
+# ---------------------------------------------------------------------- #
+
+
+class _Unhashable:
+    """A poison register value: feeding it raises inside the thread sets."""
+
+    __hash__ = None
+
+
+class TestQuarantine:
+    def test_poison_event_fails_only_its_session(self, extended, db, no_faults):
+        mux = MonitorMultiplexer(extended, db)
+        mux.ingest([("a", "q", ("v1",)), ("b", "q", ("v1",))])
+        drain_events()
+        report = mux.ingest([("a", "q", (_Unhashable(),)), ("b", "q", ("v2",))])
+        assert report.quarantined == ("a",)
+        assert mux.quarantined_sessions() == ("a",)
+        outcome = mux.session_outcome("a")
+        assert outcome.status is OutcomeStatus.DEGRADED
+        assert outcome.stats["reason"] == "poison-event"
+        # the poisoned session froze at its last good position...
+        assert mux.session_fingerprint("a")[1] == 0
+        # ...and its neighbour proceeded untouched
+        assert mux.session_fingerprint("b")[1] == 1
+        assert [event.code for event in drain_events() if event.code == "RS008"]
+
+    def test_quarantine_is_durable_across_crashes(
+        self, extended, db, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        mux = MonitorMultiplexer(extended, db)
+        mux.ingest([("a", "q", ("v1",)), ("b", "q", ("v1",))])
+        mux.ingest([("a", "q", (_Unhashable(),)), ("b", "q", ("v2",))])
+        frozen = mux.session_fingerprint("a")
+        monkeypatch.setenv("REPRO_FAULTS", "monitor.ingest:crash:1")
+        reset_faults()
+        report = mux.ingest([("a", "q", ("v3",)), ("b", "q", ("v3",))])
+        reset_faults()
+        assert report.skipped + report.applied >= 1
+        assert mux.session_outcome("a").status is OutcomeStatus.DEGRADED
+        assert mux.session_fingerprint("a") == frozen
+        assert mux.session_fingerprint("b")[1] == 2
+
+    def test_poison_in_sharded_ingest(self, extended, db, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        mux = MonitorMultiplexer(extended, db, shards=4)
+        sessions = ["s%d" % index for index in range(8)]
+        try:
+            mux.ingest([(s, "q", ("v1",)) for s in sessions])
+            report = mux.ingest(
+                [
+                    (s, "q", (_Unhashable(),) if s == "s3" else ("v2",))
+                    for s in sessions
+                ]
+            )
+        finally:
+            shutdown_executor()
+        assert report.quarantined == ("s3",)
+        assert mux.session_fingerprint("s3")[1] == 0
+        for s in sessions:
+            if s != "s3":
+                assert mux.session_fingerprint(s)[1] == 1
+
+    def test_restore_failure_quarantines_one_session(
+        self, extended, db, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        mux = MonitorMultiplexer(extended, db)
+        mux.ingest([("a", "q", ("v1",)), ("b", "q", ("v1",)), ("c", "q", ("v1",))])
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "monitor.restore:raise:1,monitor.ingest:crash:1"
+        )
+        reset_faults()
+        mux.ingest([("a", "q", ("v2",)), ("b", "q", ("v2",)), ("c", "q", ("v2",))])
+        reset_faults()
+        assert len(mux.quarantined_sessions()) == 1
+        (victim,) = mux.quarantined_sessions()
+        assert mux.session_outcome(victim).stats["reason"] == "restore-failed"
+        for session in "abc":
+            if session != victim:
+                assert mux.session_fingerprint(session)[1] == 1
+
+
+# ---------------------------------------------------------------------- #
+# deadlines and cancellation
+# ---------------------------------------------------------------------- #
+
+
+class TestDeadlinesAndCancellation:
+    def test_expired_deadline_times_out_without_losing_events(
+        self, extended, db, no_faults
+    ):
+        mux = MonitorMultiplexer(extended, db)
+        report = mux.ingest(
+            [("a", "q", ("v1",)), ("b", "q", ("v1",))], deadline=0
+        )
+        assert report.outcome.status is OutcomeStatus.TIMEOUT
+        # the batch is journaled; the next ingest drains it first
+        mux.ingest([("a", "q", ("v2",))])
+        assert mux.session_fingerprint("a")[1] == 1
+        assert mux.session_fingerprint("b")[1] == 0
+
+    def test_recover_drains_timed_out_batch(self, extended, db, no_faults):
+        mux = MonitorMultiplexer(extended, db)
+        report = mux.ingest([("a", "q", ("v1",))], deadline=0)
+        assert report.outcome.status is OutcomeStatus.TIMEOUT
+        assert report.applied == 0
+        mux.recover()
+        assert mux.session_fingerprint("a")[1] == 0
+
+    def test_expired_deadline_times_out_on_the_sharded_path(
+        self, extended, db, no_faults, monkeypatch
+    ):
+        """Workers can't see the driver's ambient deadline: the sharded
+        path must poll on the driver and report TIMEOUT with nothing
+        applied (regression: it used to apply the whole batch and report
+        COMPLETE under REPRO_WORKERS=2)."""
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        try:
+            mux = MonitorMultiplexer(extended, db, shards=4)
+            report = mux.ingest(
+                [("a", "q", ("v1",)), ("b", "q", ("v1",))], deadline=0
+            )
+            assert report.outcome.status is OutcomeStatus.TIMEOUT
+            assert report.applied == 0
+            # journaled, not lost: the next ingest drains the batch first
+            mux.ingest([("a", "q", ("v2",))])
+            assert mux.session_fingerprint("a")[1] == 1
+            assert mux.session_fingerprint("b")[1] == 0
+        finally:
+            shutdown_executor()
+
+    def test_cancellation_outcome(self, extended, db, no_faults):
+        token = CancellationToken()
+        token.cancel("operator stop")
+        mux = MonitorMultiplexer(extended, db)
+        report = mux.ingest([("a", "q", ("v1",))], cancel=token)
+        assert report.outcome.status is OutcomeStatus.CANCELLED
+        mux.recover()
+        assert mux.session_fingerprint("a")[1] == 0
+
+
+# ---------------------------------------------------------------------- #
+# knobs
+# ---------------------------------------------------------------------- #
+
+
+class TestMonitorKnobs:
+    def test_registered(self):
+        for name in (
+            "REPRO_MONITOR_SHARDS",
+            "REPRO_MONITOR_SNAPSHOT_EVERY",
+            "REPRO_MONITOR_JOURNAL_CAP",
+        ):
+            assert knobs.is_registered(name)
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [(None, 0), ("", 0), ("junk", 0), ("-3", 0), ("4", 4), ("9999", 256)],
+    )
+    def test_shards_parser(self, raw, expected):
+        assert knobs.parse_shard_count(raw) == expected
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [(None, 32), ("", 32), ("junk", 32), ("0", 32), ("-1", 32), ("5", 5)],
+    )
+    def test_snapshot_every_parser(self, raw, expected):
+        assert knobs.parse_snapshot_every(raw) == expected
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [(None, 1024), ("junk", 1024), ("0", 1024), ("17", 17)],
+    )
+    def test_journal_cap_parser(self, raw, expected):
+        assert knobs.parse_journal_cap(raw) == expected
+
+    def test_env_knobs_steer_the_multiplexer(self, extended, db, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        reset_faults()
+        monkeypatch.setenv("REPRO_MONITOR_SNAPSHOT_EVERY", "1")
+        monkeypatch.setenv("REPRO_MONITOR_JOURNAL_CAP", "4")
+        batches = random_batches(sessions=5, batches=4, batch_size=10)
+        mux = drive(MonitorMultiplexer(extended, db), batches)
+        assert mux.stats()["snapshots_taken"] > 0
+        assert mux.fingerprints() == oracle_fingerprints(extended, db, batches)

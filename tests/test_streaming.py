@@ -130,3 +130,67 @@ class TestMemoryDiscipline:
         for index in range(50):
             checker.feed("q", ("v%d" % index,))
         assert checker.peak_threads >= 49
+
+
+class TestFailedStateAndSnapshots:
+    """The failed-state contract `MonitorMultiplexer` snapshots rely on."""
+
+    def test_non_strict_failure_is_sticky_and_verbatim(
+        self, example7_extended, db
+    ):
+        checker = StreamingChecker(example7_extended, db, strict=False)
+        checker.feed("q", ("a",))
+        checker.feed("q", ("b",))
+        message = checker.feed("q", ("a",))
+        assert message is not None
+        position = checker.position
+        for _ in range(3):
+            assert checker.feed("q", ("fresh",)) == message
+        assert checker.failed == message
+        assert checker.position == position  # failed feeds consume nothing
+
+    def test_snapshot_after_violation_restores_failed(
+        self, example7_extended, db
+    ):
+        # Regression: the snapshot carries strictness, so a non-strict
+        # session restored into a default (strict) checker keeps
+        # *returning* the original message instead of raising.
+        checker = StreamingChecker(example7_extended, db, strict=False)
+        checker.feed("q", ("a",))
+        checker.feed("q", ("b",))
+        message = checker.feed("q", ("a",))
+        snapshot = checker.snapshot()
+        restored = StreamingChecker(example7_extended, db).restore(snapshot)
+        assert restored.feed("q", ("c",)) == message
+        assert restored.failed == message
+
+    def test_strict_failure_keeps_raising_after_restore(
+        self, example7_extended, db
+    ):
+        checker = StreamingChecker(example7_extended, db)
+        checker.feed("q", ("a",))
+        checker.feed("q", ("b",))
+        with pytest.raises(StreamingViolation) as first:
+            checker.feed("q", ("a",))
+        restored = StreamingChecker(example7_extended, db, strict=False).restore(
+            checker.snapshot()
+        )
+        with pytest.raises(StreamingViolation) as again:
+            restored.feed("q", ("c",))
+        assert str(again.value) == str(first.value)
+
+    def test_mid_run_snapshot_resumes_byte_identically(
+        self, example7_extended, db
+    ):
+        events = [("q", ("a",)), ("q", ("b",)), ("q", ("c",)), ("q", ("b",))]
+        reference = StreamingChecker(example7_extended, db, strict=False)
+        expected = [reference.feed(s, r) for s, r in events]
+        resumed = StreamingChecker(example7_extended, db, strict=False)
+        resumed.feed(*events[0])
+        resumed.feed(*events[1])
+        resumed = StreamingChecker(example7_extended, db, strict=False).restore(
+            resumed.snapshot()
+        )
+        outputs = expected[:2] + [resumed.feed(s, r) for s, r in events[2:]]
+        assert outputs == expected
+        assert resumed.peak_threads == reference.peak_threads
